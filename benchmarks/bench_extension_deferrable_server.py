@@ -1,0 +1,63 @@
+"""Extension bench: deferrable-server RPC reservation vs plain bands.
+
+Three ways to schedule client RPCs on the primary:
+
+- plain real-time band (the default; RPCs compete with update tasks under
+  EDF),
+- background band (RPCs strictly below update tasks),
+- a deferrable-server reservation (bounded, guaranteed RPC bandwidth).
+
+Measured at a high admitted load where the differences show.
+"""
+
+from repro.core.service import RTPBService
+from repro.core.spec import ServiceConfig
+from repro.metrics.collectors import response_time_stats, unanswered_writes
+from repro.metrics.report import Table
+from repro.units import ms, to_ms
+from repro.workload.generator import homogeneous_specs
+
+HORIZON = 10.0
+N_OBJECTS = 36
+WINDOW = ms(100.0)
+
+
+def run_once(variant):
+    if variant == "deferrable":
+        config = ServiceConfig(use_deferrable_server=True,
+                               ds_budget=ms(6), ds_period=ms(50))
+    else:
+        config = ServiceConfig()
+    service = RTPBService(seed=9, config=config)
+    specs = homogeneous_specs(N_OBJECTS, window=WINDOW,
+                              client_period=ms(100.0))
+    service.register_all(specs)
+    service.create_client(service.registered_specs())
+    service.run(HORIZON)
+    stats = response_time_stats(service, 2.0)
+    return (stats.mean, stats.p95, unanswered_writes(service),
+            service.current_primary().processor.deadline_misses,
+            len(service.registered_specs()))
+
+
+def run_comparison():
+    table = Table("RPC scheduling: plain band vs deferrable server",
+                  ["variant", "admitted", "mean resp (ms)", "p95 resp (ms)",
+                   "starved", "deadline misses"])
+    rows = {}
+    for variant in ("plain", "deferrable"):
+        mean, p95, starved, misses, admitted = run_once(variant)
+        table.add_row(variant, admitted, to_ms(mean), to_ms(p95), starved,
+                      misses)
+        rows[variant] = (mean, p95, starved, misses)
+    return table, rows
+
+
+def test_deferrable_server_bench(benchmark, record_table):
+    table, rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    record_table("extension_deferrable_server", table.render())
+    for variant, (mean, _p95, starved, misses) in rows.items():
+        assert misses == 0, f"{variant}: update tasks must meet deadlines"
+        # A small in-flight tail is queued at the horizon; nothing beyond.
+        assert starved <= 15, f"{variant}: RPCs must be served"
+        assert mean < ms(40)

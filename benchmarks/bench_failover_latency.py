@@ -1,0 +1,63 @@
+"""Recovery: failover latency vs heartbeat period (Section 4.4).
+
+Not a numbered figure in the paper, but the recovery path is half of the
+protocol; this sweep shows detection latency tracking the configured bound
+``ping_period + max_misses × ping_timeout`` and that service resumes.
+"""
+
+from repro.core.service import RTPBService
+from repro.core.spec import ServiceConfig
+from repro.metrics.collectors import failover_latency
+from repro.metrics.report import Table
+from repro.units import ms, to_ms
+from repro.workload.generator import homogeneous_specs
+
+CRASH_AT = 3.0
+HORIZON = 12.0
+PING_PERIODS = (ms(25.0), ms(50.0), ms(100.0), ms(200.0))
+
+
+def run_once(ping_period):
+    config = ServiceConfig(ping_period=ping_period,
+                           ping_timeout=ping_period / 2.0,
+                           ping_max_misses=3)
+    service = RTPBService(seed=4, config=config, n_spares=1)
+    specs = homogeneous_specs(3, window=ms(200.0), client_period=ms(100.0))
+    service.register_all(specs)
+    service.create_client(specs)
+    service.start()
+    service.injector.crash_at(CRASH_AT, service.primary_server)
+    service.run(HORIZON)
+    latency = failover_latency(service)
+    resumed = len([record for record in
+                   service.trace.select("client_response")
+                   if record["issue"] > CRASH_AT + (latency or 0) + 0.2])
+    recruited = bool(service.trace.select("recruited"))
+    return latency, config.failure_detection_latency(), resumed, recruited
+
+
+def run_sweep():
+    table = Table("Failover latency vs heartbeat period",
+                  ["ping period (ms)", "measured failover (ms)",
+                   "detection bound (ms)", "writes after takeover",
+                   "new backup recruited"])
+    rows = []
+    for ping_period in PING_PERIODS:
+        latency, bound, resumed, recruited = run_once(ping_period)
+        table.add_row(to_ms(ping_period),
+                      to_ms(latency) if latency else float("nan"),
+                      to_ms(bound), resumed, recruited)
+        rows.append((ping_period, latency, bound, resumed, recruited))
+    return table, rows
+
+
+def test_failover_latency(benchmark, record_table):
+    table, rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record_table("failover_latency", table.render())
+    for ping_period, latency, bound, resumed, recruited in rows:
+        assert latency is not None
+        assert latency <= bound + ms(50.0)
+        assert resumed > 50
+        assert recruited
+    # Faster heartbeats detect faster.
+    assert rows[0][1] < rows[-1][1]

@@ -1,0 +1,27 @@
+"""Figure 6: client response time vs #objects, WITH admission control.
+
+Paper shape: "the number of objects has little impact on the response time"
+— the controller caps the admitted population, so offered load beyond the
+knee changes nothing; larger windows respond no worse.
+"""
+
+from repro.experiments.figures import figure6_response_time_with_admission
+from repro.units import ms
+
+OBJECT_COUNTS = (8, 24, 40, 56)
+WINDOWS = (ms(100.0), ms(200.0), ms(400.0))
+
+
+def test_fig06_response_time_with_admission(benchmark, record_table):
+    series = benchmark.pedantic(
+        figure6_response_time_with_admission,
+        kwargs=dict(object_counts=OBJECT_COUNTS, windows=WINDOWS,
+                    horizon=8.0),
+        rounds=1, iterations=1)
+    record_table("fig06_response_time_ac", series.render())
+
+    # Shape check: response stays bounded as offered load grows 7x.
+    for label, points in series.curves.items():
+        by_count = dict(points)
+        assert by_count[OBJECT_COUNTS[-1]] < 30.0, (
+            f"{label}: admission control failed to keep response low")

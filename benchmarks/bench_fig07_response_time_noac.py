@@ -1,0 +1,28 @@
+"""Figure 7: client response time vs #objects, WITHOUT admission control.
+
+Paper shape: flat while the accepted population fits the window's capacity,
+then "the response time increases dramatically"; larger windows push the
+knee right.
+"""
+
+from repro.experiments.figures import figure7_response_time_without_admission
+from repro.units import ms
+
+OBJECT_COUNTS = (8, 24, 40, 56)
+WINDOWS = (ms(100.0), ms(200.0), ms(400.0))
+
+
+def test_fig07_response_time_without_admission(benchmark, record_table):
+    series = benchmark.pedantic(
+        figure7_response_time_without_admission,
+        kwargs=dict(object_counts=OBJECT_COUNTS, windows=WINDOWS,
+                    horizon=8.0),
+        rounds=1, iterations=1)
+    record_table("fig07_response_time_noac", series.render())
+
+    tight = dict(series.curve("window=100ms"))
+    loose = dict(series.curve("window=400ms"))
+    # The 100 ms window saturates by 56 objects: dramatic growth.
+    assert tight[56] > 10 * tight[8], "expected an overload knee"
+    # The 400 ms window still has headroom at 56 objects.
+    assert loose[56] < tight[56] / 3, "larger window should push knee right"

@@ -1,0 +1,31 @@
+"""Figure 8: average maximum primary/backup distance vs message loss.
+
+Paper shape: "close to zero when there is no message loss"; grows with loss
+probability and with client write rate (the paper reports ≈700 ms at 10%
+loss on its testbed — absolute values differ here, direction must match).
+"""
+
+from repro.experiments.figures import figure8_distance_vs_loss
+from repro.units import ms
+
+LOSS = (0.0, 0.02, 0.06, 0.10)
+WRITE_PERIODS = (ms(50.0), ms(100.0), ms(200.0))
+
+
+def test_fig08_distance_vs_loss(benchmark, record_table):
+    series = benchmark.pedantic(
+        figure8_distance_vs_loss,
+        kwargs=dict(loss_probabilities=LOSS, write_periods=WRITE_PERIODS,
+                    n_objects=8, horizon=15.0),
+        rounds=1, iterations=1)
+    record_table("fig08_distance_vs_loss", series.render())
+
+    for label, points in series.curves.items():
+        by_loss = dict(points)
+        assert by_loss[0.0] < 1.0, f"{label}: no-loss distance should be ~0"
+        assert by_loss[0.10] > by_loss[0.0], (
+            f"{label}: distance must grow with loss")
+    # Faster writers suffer larger distance at the same loss.
+    fast = dict(series.curve("write-period=50ms"))
+    slow = dict(series.curve("write-period=200ms"))
+    assert fast[0.10] > slow[0.10]

@@ -1,0 +1,28 @@
+"""Figure 10: avg max primary/backup distance vs #objects, admission OFF.
+
+Paper shape: past the window's capacity the accepted population overloads
+update transmission and "results in an increase in the average maximum
+distance" — the comparison with Figure 9 "demonstrates the need for an
+admission control policy".
+"""
+
+from repro.experiments.figures import figure10_distance_without_admission
+from repro.units import ms
+
+OBJECT_COUNTS = (8, 24, 40, 56)
+WINDOWS = (ms(100.0), ms(200.0))
+
+
+def test_fig10_distance_without_admission(benchmark, record_table):
+    series = benchmark.pedantic(
+        figure10_distance_without_admission,
+        kwargs=dict(object_counts=OBJECT_COUNTS, windows=WINDOWS,
+                    loss_probability=0.02, horizon=10.0),
+        rounds=1, iterations=1)
+    record_table("fig10_distance_noac", series.render())
+
+    tight = dict(series.curve("window=100ms"))
+    # The 100 ms window is overloaded at 56 objects: distance grows well
+    # past its 8-object level.
+    assert tight[56] > 2 * max(tight[8], 1.0), (
+        "overload should inflate distance without admission control")

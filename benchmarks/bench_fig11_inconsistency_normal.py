@@ -1,0 +1,31 @@
+"""Figure 11: duration of backup inconsistency, NORMAL scheduling.
+
+Paper shape: durations grow with loss probability, and — under normal
+scheduling — grow with window size ("a larger window size would mean longer
+duration of backup inconsistency", because the update period scales with the
+window).
+"""
+
+from repro.experiments.figures import figure11_inconsistency_normal
+from repro.units import ms
+
+LOSS = (0.0, 0.05, 0.10)
+WINDOWS = (ms(50.0), ms(100.0), ms(200.0))
+
+
+def test_fig11_inconsistency_normal(benchmark, record_table):
+    series = benchmark.pedantic(
+        figure11_inconsistency_normal,
+        kwargs=dict(loss_probabilities=LOSS, windows=WINDOWS,
+                    n_objects=24, horizon=15.0),
+        rounds=1, iterations=1)
+    record_table("fig11_inconsistency_normal", series.render())
+
+    for label, points in series.curves.items():
+        by_loss = dict(points)
+        assert by_loss[0.0] <= by_loss[0.10] + 1e-9, (
+            f"{label}: inconsistency must not shrink with loss")
+    # Normal scheduling: larger window -> longer episodes at 10% loss.
+    tight = dict(series.curve("window=50ms"))
+    loose = dict(series.curve("window=200ms"))
+    assert loose[0.10] > tight[0.10]

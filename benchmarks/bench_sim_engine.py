@@ -1,0 +1,63 @@
+"""Substrate microbenchmarks: DES throughput and protocol-stack cost.
+
+Sanity that the figure sweeps are tractable and a regression guard for the
+event loop, the preemptive processor, and the UDP/IP encode-decode path.
+"""
+
+from repro.net.ip import Host
+from repro.net.link import NetworkFabric
+from repro.sched import EDFScheduler, Processor, Task
+from repro.sim.engine import Simulator
+
+
+def test_event_loop_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        count = 20_000
+        state = {"fired": 0}
+
+        def tick():
+            state["fired"] += 1
+            if state["fired"] < count:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return state["fired"]
+
+    fired = benchmark(run)
+    assert fired == 20_000
+
+
+def test_processor_preemption_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        cpu = Processor(sim, EDFScheduler())
+        cpu.add_task(Task("fast", period=0.001, wcet=0.0004))
+        cpu.add_task(Task("slow", period=0.01, wcet=0.005))
+        sim.run(until=5.0)
+        return cpu.jobs_completed
+
+    completed = benchmark(run)
+    assert completed > 5_000
+
+
+def test_udp_stack_round_trips(benchmark):
+    def run():
+        sim = Simulator(seed=1)
+        fabric = NetworkFabric(sim, delay_bound=0.001)
+        sender_host = Host(sim, fabric, "a", 1)
+        receiver_host = Host(sim, fabric, "b", 2)
+        received = []
+        receiver_host.udp_endpoint(
+            9000, on_receive=lambda data, src, info: received.append(data))
+        endpoint = sender_host.udp_endpoint(8000)
+        payload = b"x" * 128
+        for index in range(2_000):
+            sim.schedule(index * 0.0005,
+                         endpoint.send, 2, 9000, payload)
+        sim.run(until=5.0)
+        return len(received)
+
+    delivered = benchmark(run)
+    assert delivered == 2_000

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Admission control and QoS negotiation.
+
+Registers objects with ever-tighter windows until the admission controller
+says no, then uses the controller's *feedback* — the suggested alternative
+QoS the paper describes in Section 4.2 — to re-negotiate and get admitted.
+
+Also demonstrates the three distinct rejection reasons:
+
+1. the client's write period exceeds its own primary constraint,
+2. the primary/backup window is smaller than the delay bound ℓ,
+3. the update-task set would become unschedulable.
+
+Run:  python examples/admission_negotiation.py
+"""
+
+from dataclasses import replace
+
+from repro import ObjectSpec, RTPBService, ms, to_ms
+
+HORIZON = 5.0
+
+
+def show(label: str, decision) -> None:
+    print(f"  {label}: accepted={decision.accepted}", end="")
+    if not decision.accepted:
+        print(f"  reason={decision.reason}", end="")
+        if decision.suggestion:
+            rendered = {key: f"{to_ms(value):.1f} ms"
+                        for key, value in decision.suggestion.items()}
+            print(f"  suggestion={rendered}", end="")
+    print()
+
+
+def main() -> None:
+    service = RTPBService(seed=3)
+
+    print("rejection reason 1: writing too rarely for the primary window")
+    bad_period = ObjectSpec(100, "lazy-writer", 64, client_period=ms(500.0),
+                            delta_primary=ms(100.0), delta_backup=ms(400.0))
+    show("p=500ms, δ^P=100ms", service.register(bad_period))
+
+    print("rejection reason 2: window smaller than the delay bound")
+    bad_window = ObjectSpec(101, "impossible-window", 64,
+                            client_period=ms(50.0), delta_primary=ms(50.0),
+                            delta_backup=ms(52.0))
+    show("δ=2ms < ℓ=5ms", service.register(bad_window))
+
+    print("rejection reason 3: saturating the primary's update capacity")
+    admitted = 0
+    object_id = 0
+    decision = None
+    while True:
+        spec = ObjectSpec(object_id, f"sensor-{object_id}", 64,
+                          client_period=ms(50.0), delta_primary=ms(50.0),
+                          delta_backup=ms(110.0))  # tight 60 ms window
+        decision = service.register(spec)
+        if not decision.accepted:
+            break
+        admitted += 1
+        object_id += 1
+    print(f"  admitted {admitted} objects with 60 ms windows, then:")
+    show(f"sensor-{object_id}", decision)
+
+    print("negotiation: retry with the controller's suggested backup window")
+    suggested = decision.suggestion["delta_backup"]
+    retry = replace(
+        ObjectSpec(object_id, f"sensor-{object_id}", 64,
+                   client_period=ms(50.0), delta_primary=ms(50.0),
+                   delta_backup=ms(110.0)),
+        delta_backup=suggested)
+    show(f"δ^B={to_ms(suggested):.1f} ms", service.register(retry))
+
+    service.create_client(service.registered_specs())
+    service.run(HORIZON)
+    print(f"\nfinal population: {len(service.registered_specs())} objects, "
+          f"planned update utilisation "
+          f"{service.current_primary().admission.planned_utilization():.3f}")
+
+
+if __name__ == "__main__":
+    main()

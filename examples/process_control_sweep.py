@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Process-control plant: normal vs compressed update scheduling.
+
+A factory floor replicates a handful of control loops; the operator wants to
+know how window size trades off against recovery from bursty loss under the
+two update-scheduling modes of Section 4.3.  This runs a miniature version
+of the Figure 11/12 sweep and prints both series side by side — note the
+*opposite* direction of the window-size effect, the paper's headline
+observation about compressed scheduling.
+
+Run:  python examples/process_control_sweep.py   (takes ~a minute)
+"""
+
+from repro.experiments import (
+    figure11_inconsistency_normal,
+    figure12_inconsistency_compressed,
+)
+from repro.units import ms
+
+LOSS_POINTS = (0.0, 0.05, 0.10)
+WINDOWS = (ms(50.0), ms(200.0))
+
+
+def main() -> None:
+    normal = figure11_inconsistency_normal(
+        loss_probabilities=LOSS_POINTS, windows=WINDOWS,
+        n_objects=24, horizon=10.0)
+    print(normal.render())
+    print()
+    compressed = figure12_inconsistency_compressed(
+        loss_probabilities=LOSS_POINTS, windows=WINDOWS,
+        n_objects=24, horizon=10.0)
+    print(compressed.render())
+    print()
+    print("Note the window-size direction flip: under normal scheduling the "
+          "larger window recovers more slowly\n(update period scales with "
+          "the window); under compressed scheduling it recovers faster "
+          "(updates\nflow at CPU capacity and the larger window is harder "
+          "to fall out of).")
+
+
+if __name__ == "__main__":
+    main()

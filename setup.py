@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e .` on environments without
+the `wheel` package (offline build isolation is unavailable)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""RTPB: Real-Time Primary-Backup replication with temporal consistency
+guarantees.
+
+A full reproduction of Zou & Jahanian (ICDCS 1998) on a deterministic
+discrete-event substrate.  The public API re-exports the pieces a user needs
+to build and run deployments::
+
+    from repro import (RTPBService, ObjectSpec, ServiceConfig,
+                       homogeneous_specs, ms)
+
+    service = RTPBService(seed=1)
+    service.register_all(homogeneous_specs(
+        8, window=ms(200), client_period=ms(100)))
+    service.create_client(service.registered_specs())
+    service.run(horizon=20.0)
+
+Subpackage map:
+
+- :mod:`repro.sim` — discrete-event simulation kernel.
+- :mod:`repro.sched` — EDF / Rate-Monotonic / Distance-Constrained scheduling
+  and phase-variance theory.
+- :mod:`repro.xkernel` / :mod:`repro.net` — x-kernel-style protocol stack
+  (link, IP, UDP).
+- :mod:`repro.consistency` — the temporal-consistency models and checkers.
+- :mod:`repro.core` — the RTPB replication service itself.
+- :mod:`repro.baselines` — window-consistent and eager replication baselines.
+- :mod:`repro.workload`, :mod:`repro.metrics`, :mod:`repro.experiments` —
+  workloads, performability metrics, and the figure-regeneration harness.
+"""
+
+from repro._version import __version__
+from repro.core.service import RTPBService
+from repro.core.spec import (
+    InterObjectConstraint,
+    ObjectSpec,
+    SchedulingMode,
+    ServiceConfig,
+)
+from repro.units import ms, to_ms, us
+from repro.workload.generator import homogeneous_specs, mixed_specs, spec_for_window
+from repro.workload.scenarios import Scenario, build_scenario
+
+__all__ = [
+    "__version__",
+    "RTPBService",
+    "ObjectSpec",
+    "InterObjectConstraint",
+    "ServiceConfig",
+    "SchedulingMode",
+    "Scenario",
+    "build_scenario",
+    "homogeneous_specs",
+    "mixed_specs",
+    "spec_for_window",
+    "ms",
+    "us",
+    "to_ms",
+]

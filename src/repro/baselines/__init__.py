@@ -1,0 +1,34 @@
+"""Comparison baselines.
+
+- :class:`~repro.baselines.window_consistent.WindowConsistentService` —
+  Mehra, Rexford & Jahanian's window-consistent replication, the work RTPB
+  builds on: update transmission is *coupled* to client writes (one send per
+  write, due within δ - ℓ), i.e. the Theorem 5 special case rather than
+  RTPB's decoupled periodic tasks.
+- :class:`~repro.baselines.eager.EagerService` — classical synchronous
+  primary-backup: every client write is propagated to the backup and the
+  response waits for the backup's ack.  Zero staleness, but response time
+  pays a network round trip plus backup apply — the overhead the paper's
+  relaxation removes.
+"""
+
+from repro.baselines.active import (
+    ActiveReplica,
+    ActiveReplicationService,
+    SemiActiveReplicationService,
+)
+from repro.baselines.eager import EagerPrimaryServer, EagerService
+from repro.baselines.window_consistent import (
+    WindowConsistentPrimaryServer,
+    WindowConsistentService,
+)
+
+__all__ = [
+    "WindowConsistentService",
+    "WindowConsistentPrimaryServer",
+    "EagerService",
+    "EagerPrimaryServer",
+    "ActiveReplicationService",
+    "SemiActiveReplicationService",
+    "ActiveReplica",
+]

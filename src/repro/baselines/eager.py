@@ -1,0 +1,122 @@
+"""Eager (synchronous) primary-backup baseline.
+
+The classical passive-replication discipline the paper's introduction
+contrasts with: every client write is propagated to the backup immediately
+and the client's response is withheld until the backup acknowledges the
+apply.  Consistency between primary and backup is as tight as the network
+allows, but every write pays transmission cost + one-way delay + backup
+apply + ack delay — the overhead RTPB's relaxed temporal consistency
+eliminates from the critical path.
+
+Construct through :class:`EagerService`, which forces ``ack_updates`` on so
+the stock backup acknowledges applies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.admission import AdmissionDecision
+from repro.core.object_store import ObjectRecord
+from repro.core.rtpb_protocol import UpdateAckMsg, UpdateMsg, encode_message
+from repro.core.server import ReplicaServer
+from repro.core.service import RTPBService
+from repro.core.spec import ObjectSpec, ServiceConfig
+from repro.sched.task import BAND_REALTIME
+
+#: How long an unacked synchronous write waits before retransmitting.
+_RETRY_FACTOR = 3.0
+
+
+class EagerPrimaryServer(ReplicaServer):
+    """Primary that completes writes only after the backup acks them."""
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)
+        #: (object_id, seq) -> (issue_time, on_complete callback)
+        self._pending_acks: Dict[Tuple[int, int],
+                                 Tuple[float, Optional[Callable]]] = {}
+        self.sync_retransmissions = 0
+
+    def register_object(self, spec: ObjectSpec) -> AdmissionDecision:
+        decision = super().register_object(spec)
+        if decision.accepted:
+            # No periodic refresh: propagation is per-write and synchronous.
+            self.transmitter.remove_object(spec.object_id)
+        return decision
+
+    def _after_primary_write(self, record: ObjectRecord, issue_time: float,
+                             on_complete: Optional[Callable[[float], None]]
+                             ) -> None:
+        key = (record.spec.object_id, record.seq)
+        self._pending_acks[key] = (issue_time, on_complete)
+        self._send_sync_update(record.spec, record.seq, attempt=0)
+
+    def _send_sync_update(self, spec: ObjectSpec, seq: int,
+                          attempt: int) -> None:
+        key = (spec.object_id, seq)
+        if not self.alive or key not in self._pending_acks:
+            return
+        cost = self.config.tx_cost(spec.size_bytes)
+
+        def send(_job: object) -> None:
+            if not self.alive or key not in self._pending_acks:
+                return
+            current_seq, write_time, source_time, value = self.store.snapshot(
+                spec.object_id)
+            if current_seq < seq:
+                return  # cannot happen (seqs are monotonic); defensive
+            self._send_to_peer(encode_message(UpdateMsg(
+                object_id=spec.object_id, seq=current_seq,
+                write_time=write_time, source_time=source_time,
+                payload=value)))
+            self.sim.trace.record("update_sent", object=spec.object_id,
+                                  seq=current_seq, write_time=write_time,
+                                  retransmission=attempt > 0)
+            if attempt > 0:
+                self.sync_retransmissions += 1
+            # UDP may drop the update or the ack; retry until acked.
+            self.sim.schedule(_RETRY_FACTOR * self.config.ell,
+                              self._send_sync_update, spec, seq, attempt + 1)
+
+        self.processor.submit(name=f"eager-tx-{spec.object_id}", cost=cost,
+                              deadline=self.sim.now + self.config.rpc_deadline,
+                              band=BAND_REALTIME, action=send)
+
+    def _handle_retx_request(self, message) -> None:
+        """Serve backup watchdog requests with a fresh synchronous-style
+        snapshot (there is no decoupled transmitter state to delegate to)."""
+        if message.object_id not in self.store:
+            return
+        self.retx_requests_served += 1
+        record = self.store.get(message.object_id)
+        if record.seq > 0:
+            key = (message.object_id, record.seq)
+            if key not in self._pending_acks:
+                self._pending_acks[key] = (self.sim.now, None)
+            self._send_sync_update(record.spec, record.seq, attempt=1)
+
+    def _on_update_ack(self, message: UpdateAckMsg) -> None:
+        # An ack for seq also covers every older pending write of the object
+        # (the backup's state is at least as new as seq).
+        completed = [key for key in self._pending_acks
+                     if key[0] == message.object_id and key[1] <= message.seq]
+        for key in sorted(completed, key=lambda item: item[1]):
+            issue_time, on_complete = self._pending_acks.pop(key)
+            response = self.sim.now - issue_time
+            self.sim.trace.record("client_response", object=key[0],
+                                  issue=issue_time, response=response)
+            if on_complete is not None:
+                on_complete(response)
+
+
+class EagerService(RTPBService):
+    """An RTPB deployment with the eager (synchronous) primary substituted."""
+
+    primary_server_class = EagerPrimaryServer
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 **kwargs: object) -> None:
+        config = config if config is not None else ServiceConfig()
+        config.ack_updates = True
+        super().__init__(config=config, **kwargs)

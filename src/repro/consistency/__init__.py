@@ -1,0 +1,58 @@
+"""Temporal-consistency models (Sections 2 and 3 of the paper).
+
+Two families of guarantees:
+
+- **External temporal consistency** — an object's server image must track
+  the real-world object: ``t - T_i(t) ≤ δ_i`` at all times ``t``, where
+  ``T_i(t)`` is the finish time of the last update before ``t``.
+- **Inter-object temporal consistency** — two related objects must be
+  mutually fresh: ``|T_i(t) - T_j(t)| ≤ δ_ij`` at all times.
+
+The module provides:
+
+- :class:`~repro.consistency.timestamps.VersionHistory` — the ``T_i(t)``
+  timeline a server maintains per object,
+- the paper's lemmas and theorems as executable predicates and scheduling
+  formulas (:mod:`~repro.consistency.external`,
+  :mod:`~repro.consistency.interobject`),
+- trace checkers that verify guarantees over whole simulation runs
+  (:mod:`~repro.consistency.checker`).
+"""
+
+from repro.consistency.checker import (
+    ExternalConsistencyChecker,
+    InterObjectConsistencyChecker,
+    Violation,
+)
+from repro.consistency.external import (
+    backup_period_bound,
+    lemma1_sufficient_primary,
+    lemma2_sufficient_backup,
+    primary_period_bound,
+    theorem1_condition_primary,
+    theorem4_condition_backup,
+    theorem5_condition_backup,
+)
+from repro.consistency.interobject import (
+    interobject_to_external,
+    lemma3_sufficient,
+    theorem6_condition,
+)
+from repro.consistency.timestamps import VersionHistory
+
+__all__ = [
+    "VersionHistory",
+    "lemma1_sufficient_primary",
+    "theorem1_condition_primary",
+    "primary_period_bound",
+    "lemma2_sufficient_backup",
+    "theorem4_condition_backup",
+    "theorem5_condition_backup",
+    "backup_period_bound",
+    "lemma3_sufficient",
+    "theorem6_condition",
+    "interobject_to_external",
+    "ExternalConsistencyChecker",
+    "InterObjectConsistencyChecker",
+    "Violation",
+]

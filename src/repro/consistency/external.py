@@ -1,0 +1,127 @@
+"""External temporal consistency: the paper's Section 2 results.
+
+Notation (matching the paper):
+
+- ``p_i`` — period of the task updating object *i* at the primary,
+- ``e_i`` — its execution time,
+- ``r_i`` — period of the update-transmission task feeding the backup,
+- ``e_i'`` — execution time of the backup's apply task,
+- ``v_i`` / ``v_i'`` — phase variances of the primary/backup update tasks,
+- ``ℓ`` — upper bound on primary→backup communication delay,
+- ``δ_i^P`` / ``δ_i^B`` — external consistency constraints at primary/backup.
+
+Each lemma/theorem is exposed two ways: a boolean *condition* (does this
+parameter choice guarantee consistency?) and, where useful, a *bound* (the
+largest period that still guarantees it — what an admission controller or
+update scheduler actually wants).
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidTaskError
+
+
+def _require_nonnegative(**values: float) -> None:
+    for name, value in values.items():
+        if value < 0:
+            raise InvalidTaskError(f"{name} must be >= 0, got {value}")
+
+
+def _require_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise InvalidTaskError(f"{name} must be > 0, got {value}")
+
+
+# ---------------------------------------------------------------------------
+# Consistency at the primary (Section 2.1)
+# ---------------------------------------------------------------------------
+
+
+def lemma1_sufficient_primary(p: float, e: float, delta_p: float) -> bool:
+    """Lemma 1: consistency at the primary holds if ``p ≤ (δ^P + e) / 2``.
+
+    Sufficient only — conservative by roughly a factor of two compared with
+    Theorem 1 when the phase variance is small.
+    """
+    _require_positive(p=p, e=e)
+    _require_nonnegative(delta_p=delta_p)
+    return p <= (delta_p + e) / 2.0 + 1e-12
+
+
+def theorem1_condition_primary(p: float, delta_p: float, v: float) -> bool:
+    """Theorem 1: consistency at the primary holds **iff** ``p ≤ δ^P - v``.
+
+    ``v`` is the phase variance of the task updating the object at the
+    primary (measure it with :func:`repro.sched.phase_variance.phase_variance`
+    or bound it with :class:`repro.sched.phase_variance.PhaseVarianceBounds`).
+    """
+    _require_positive(p=p)
+    _require_nonnegative(delta_p=delta_p, v=v)
+    return p <= delta_p - v + 1e-12
+
+
+def primary_period_bound(delta_p: float, v: float) -> float:
+    """Largest client-update period guaranteeing primary consistency: ``δ^P - v``."""
+    _require_nonnegative(delta_p=delta_p, v=v)
+    return delta_p - v
+
+
+# ---------------------------------------------------------------------------
+# Consistency at the backup (Section 2.2)
+# ---------------------------------------------------------------------------
+
+
+def lemma2_sufficient_backup(r: float, p: float, e: float, e_prime: float,
+                             ell: float, delta_b: float) -> bool:
+    """Lemma 2: backup consistency holds if ``r ≤ (δ^B + e + e' - ℓ)/2 - p``.
+
+    The conservative sufficient condition (Appendix D's worst case
+    ``2p - e + ℓ + 2r - e' ≤ δ^B``).
+    """
+    _require_positive(r=r, p=p, e=e, e_prime=e_prime)
+    _require_nonnegative(ell=ell, delta_b=delta_b)
+    return r <= (delta_b + e + e_prime - ell) / 2.0 - p + 1e-12
+
+
+def theorem4_condition_backup(r: float, p: float, v: float, v_prime: float,
+                              ell: float, delta_b: float) -> bool:
+    """Theorem 4: backup consistency holds **iff**
+    ``r ≤ δ^B - v' - p - v - ℓ``.
+
+    The necessary-and-sufficient condition: an update may wait up to
+    ``p + v`` at the primary, travel for ``ℓ``, and then the previous backup
+    image may persist ``r + v'`` — the sum must stay within ``δ^B``.
+    """
+    _require_positive(r=r, p=p)
+    _require_nonnegative(v=v, v_prime=v_prime, ell=ell, delta_b=delta_b)
+    return r <= delta_b - v_prime - p - v - ell + 1e-12
+
+
+def theorem5_condition_backup(r: float, delta_p: float, delta_b: float,
+                              ell: float) -> bool:
+    """Theorem 5: with ``v' = 0`` and ``p = δ^P - v`` (the largest admissible
+    client period), backup consistency holds **iff** ``r ≤ (δ^B - δ^P) - ℓ``.
+
+    ``δ = δ^B - δ^P`` is the *window of inconsistency* between primary and
+    backup — this is exactly Mehra et al.'s window-consistent protocol, which
+    the paper derives as a special case.
+    """
+    _require_positive(r=r)
+    _require_nonnegative(delta_p=delta_p, delta_b=delta_b, ell=ell)
+    return r <= (delta_b - delta_p) - ell + 1e-12
+
+
+def backup_period_bound(delta_b: float, p: float, v: float, v_prime: float,
+                        ell: float) -> float:
+    """Largest transmission period guaranteeing backup consistency
+    (Theorem 4): ``δ^B - v' - p - v - ℓ``."""
+    _require_positive(p=p)
+    _require_nonnegative(delta_b=delta_b, v=v, v_prime=v_prime, ell=ell)
+    return delta_b - v_prime - p - v - ell
+
+
+def window(delta_p: float, delta_b: float) -> float:
+    """The consistency window ``δ_i = δ_i^B - δ_i^P`` (Section 4.2)."""
+    _require_nonnegative(delta_p=delta_p, delta_b=delta_b)
+    return delta_b - delta_p

@@ -1,0 +1,88 @@
+"""Inter-object temporal consistency: the paper's Section 3 results.
+
+Two objects *i*, *j* are inter-object consistent under bound ``δ_ij`` when
+``|T_j(t) - T_i(t)| ≤ δ_ij`` at all times — e.g. the airplane's acceleration
+and lift-off readings must never be more than a bounded interval apart.
+
+A key structural point the paper makes: handling inter-object consistency
+decouples the backup's update scheduling from the primary's — the backup
+condition involves only ``r`` and ``v'``, not ``p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import InvalidTaskError
+
+
+def lemma3_sufficient(p_i: float, e_i: float, p_j: float, e_j: float,
+                      delta_ij: float) -> bool:
+    """Lemma 3 (one site): inter-object consistency holds if
+    ``p_i ≤ (δ_ij + e_i)/2`` and ``p_j ≤ (δ_ij + e_j)/2``.
+
+    Apply with ``(r, e')`` arguments for the backup site — the same formula
+    governs both, independently.
+    """
+    for name, value in (("p_i", p_i), ("e_i", e_i), ("p_j", p_j), ("e_j", e_j)):
+        if value <= 0:
+            raise InvalidTaskError(f"{name} must be > 0, got {value}")
+    if delta_ij < 0:
+        raise InvalidTaskError(f"delta_ij must be >= 0, got {delta_ij}")
+    return (p_i <= (delta_ij + e_i) / 2.0 + 1e-12
+            and p_j <= (delta_ij + e_j) / 2.0 + 1e-12)
+
+
+def theorem6_condition(p_i: float, v_i: float, p_j: float, v_j: float,
+                       delta_ij: float) -> bool:
+    """Theorem 6 (one site): inter-object consistency holds **iff**
+    ``p_i ≤ δ_ij - v_i`` and ``p_j ≤ δ_ij - v_j``.
+
+    With zero phase variances this collapses to ``p_i ≤ δ_ij`` and
+    ``p_j ≤ δ_ij`` — schedule both updates within ``δ_ij`` of each other.
+    As with Lemma 3, apply with ``(r, v')`` for the backup site.
+    """
+    for name, value in (("p_i", p_i), ("p_j", p_j)):
+        if value <= 0:
+            raise InvalidTaskError(f"{name} must be > 0, got {value}")
+    for name, value in (("v_i", v_i), ("v_j", v_j), ("delta_ij", delta_ij)):
+        if value < 0:
+            raise InvalidTaskError(f"{name} must be >= 0, got {value}")
+    return (p_i <= delta_ij - v_i + 1e-12
+            and p_j <= delta_ij - v_j + 1e-12)
+
+
+@dataclass(frozen=True)
+class ExternalizedConstraint:
+    """An inter-object constraint rewritten as per-object period caps."""
+
+    object_i: int
+    object_j: int
+    #: Cap on the update period of object i (at the site in question).
+    period_cap_i: float
+    #: Cap on the update period of object j.
+    period_cap_j: float
+
+
+def interobject_to_external(object_i: int, object_j: int, delta_ij: float,
+                            v_i: float = 0.0,
+                            v_j: float = 0.0) -> ExternalizedConstraint:
+    """Convert ``δ_ij`` into two per-object period caps (Section 4.2).
+
+    "Each inter-object temporal constraint is converted into two external
+    temporal constraints": the admission controller simply caps each object's
+    update period at ``δ_ij - v`` and reuses the external-consistency
+    machinery (schedulability test included).
+    """
+    if delta_ij <= 0:
+        raise InvalidTaskError(f"delta_ij must be > 0, got {delta_ij}")
+    for name, value in (("v_i", v_i), ("v_j", v_j)):
+        if value < 0:
+            raise InvalidTaskError(f"{name} must be >= 0, got {value}")
+    return ExternalizedConstraint(
+        object_i=object_i,
+        object_j=object_j,
+        period_cap_i=delta_ij - v_i,
+        period_cap_j=delta_ij - v_j,
+    )

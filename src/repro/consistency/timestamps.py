@@ -1,0 +1,130 @@
+"""Version histories: the ``T_i(t)`` timeline.
+
+The paper defines ``T_i^P(t)`` / ``T_i^B(t)`` as "the finish time of the last
+update of object *i* before or on time instant *t*" at the primary and backup.
+A :class:`VersionHistory` records those update-finish instants (optionally
+with version metadata) and answers the queries the consistency models are
+phrased in: ``T(t)``, staleness ``t - T(t)``, and the intervals on which a
+bound ``δ`` was violated.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Version:
+    """One applied update."""
+
+    #: Finish time of the update at this server (the paper's ``I_k``).
+    apply_time: float
+    #: Monotonic sequence number assigned by the writer.
+    seq: int
+    #: Timestamp of the *source* data (e.g. when the client sampled the
+    #: environment).  Used for primary-backup distance.
+    source_time: float
+    #: Opaque payload reference (not interpreted by the model).
+    value: Any = None
+
+
+class VersionHistory:
+    """Append-only record of update applications for one object."""
+
+    def __init__(self, object_id: int) -> None:
+        self.object_id = object_id
+        self._times: List[float] = []
+        self._versions: List[Version] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(self, apply_time: float, seq: int, source_time: float,
+               value: Any = None) -> Version:
+        """Record an update finishing at ``apply_time``.
+
+        Times must be non-decreasing (a server applies updates in real order).
+        """
+        if self._times and apply_time < self._times[-1] - 1e-12:
+            raise ValueError(
+                f"object {self.object_id}: update at {apply_time} precedes "
+                f"last recorded {self._times[-1]}")
+        version = Version(apply_time, seq, source_time, value)
+        self._times.append(apply_time)
+        self._versions.append(version)
+        return version
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    @property
+    def times(self) -> Sequence[float]:
+        """All update-finish instants, ascending."""
+        return tuple(self._times)
+
+    @property
+    def latest(self) -> Optional[Version]:
+        return self._versions[-1] if self._versions else None
+
+    def version_at(self, t: float) -> Optional[Version]:
+        """The version current at instant ``t`` (None before the first)."""
+        index = bisect.bisect_right(self._times, t) - 1
+        if index < 0:
+            return None
+        return self._versions[index]
+
+    def timestamp_at(self, t: float) -> Optional[float]:
+        """``T(t)`` — finish time of the last update at or before ``t``."""
+        version = self.version_at(t)
+        return None if version is None else version.apply_time
+
+    def staleness_at(self, t: float) -> Optional[float]:
+        """``t - T(t)``; None before the first update."""
+        timestamp = self.timestamp_at(t)
+        return None if timestamp is None else t - timestamp
+
+    def max_staleness(self, start: float, end: float) -> float:
+        """Maximum of ``t - T(t)`` over ``[start, end]``.
+
+        Staleness grows linearly between updates and resets at each one, so
+        the maximum is attained just before an update or at ``end``.
+        Before the first update staleness is measured from ``start`` (the
+        object is taken to be fresh when observation begins).
+        """
+        if end < start:
+            raise ValueError(f"empty interval [{start}, {end}]")
+        anchors = [start] + [t for t in self._times if start <= t <= end]
+        worst = 0.0
+        for index, anchor in enumerate(anchors):
+            next_time = anchors[index + 1] if index + 1 < len(anchors) else end
+            worst = max(worst, next_time - anchor)
+        return worst
+
+    def violation_intervals(self, delta: float, start: float,
+                            end: float) -> List[Tuple[float, float]]:
+        """Sub-intervals of ``[start, end]`` where staleness exceeds ``delta``.
+
+        These are exactly the tails of inter-update gaps longer than
+        ``delta``: if updates finish at ``a`` then ``b`` with
+        ``b - a > delta``, the object is inconsistent on ``(a + delta, b)``.
+        """
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        anchors = [start] + [t for t in self._times if start <= t <= end]
+        intervals: List[Tuple[float, float]] = []
+        for index, anchor in enumerate(anchors):
+            next_time = anchors[index + 1] if index + 1 < len(anchors) else end
+            if next_time - anchor > delta:
+                intervals.append((anchor + delta, next_time))
+        return intervals
+
+    def satisfies(self, delta: float, start: float, end: float) -> bool:
+        """True when ``t - T(t) ≤ delta`` holds throughout ``[start, end]``."""
+        return self.max_staleness(start, end) <= delta + 1e-12

@@ -1,0 +1,107 @@
+"""The sensing client application.
+
+"A client application resides on the same machine as the primary.  The
+client continuously senses the environment and periodically sends updates to
+the primary" through a Mach-IPC-style interface — here a direct call into
+:meth:`~repro.core.server.ReplicaServer.client_write`, whose CPU cost models
+the cross-domain RPC.
+
+"There are two identical versions of the client application residing on the
+primary and backup hosts respectively.  Normally, only the primary client
+application is running" — one :class:`SensorClient` object models the logical
+client; it locates the current primary through the name service on every
+write, and :meth:`activate` is the failover up-call that switches the
+replica copy on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.name_service import NameService
+from repro.core.server import ReplicaServer, Role
+from repro.core.spec import ObjectSpec
+from repro.errors import NoRouteError
+from repro.sim.engine import Simulator
+from repro.sim.process import Timeout
+
+#: Resolves a fabric address to the server object living there.
+ServerResolver = Callable[[int], Optional[ReplicaServer]]
+
+
+class SensorClient:
+    """Periodically samples the environment and writes to the primary."""
+
+    def __init__(self, sim: Simulator, environment: "EnvironmentModel",
+                 name_service: NameService, service_name: str,
+                 resolver: ServerResolver, specs: Sequence[ObjectSpec],
+                 name: str = "client", write_jitter: float = 0.0,
+                 active: bool = True) -> None:
+        self.sim = sim
+        self.environment = environment
+        self.name_service = name_service
+        self.service_name = service_name
+        self.resolver = resolver
+        self.specs = list(specs)
+        self.name = name
+        self.write_jitter = write_jitter
+        self.active = active
+        self.writes_issued = 0
+        self.writes_refused = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn one sensing loop per object (random initial phases)."""
+        if self._started:
+            return
+        self._started = True
+        for spec in self.specs:
+            self.sim.spawn(self._object_loop(spec),
+                           name=f"{self.name}.obj{spec.object_id}")
+
+    def activate(self, _server: ReplicaServer) -> None:
+        """Failover up-call: the replica client takes over the sensing task."""
+        self.active = True
+        self.sim.trace.record("client_activated", client=self.name)
+
+    # ------------------------------------------------------------------
+
+    def _object_loop(self, spec: ObjectSpec):
+        rng = self.sim.random.stream(f"{self.name}.phase.{spec.object_id}")
+        yield Timeout(rng.uniform(0.0, spec.client_period))
+        while True:
+            if self.active:
+                self._write_once(spec)
+            delay = spec.client_period
+            if self.write_jitter > 0:
+                delay = max(1e-6, delay + rng.uniform(-self.write_jitter,
+                                                      self.write_jitter))
+            yield Timeout(delay)
+
+    def _write_once(self, spec: ObjectSpec) -> None:
+        try:
+            address = self.name_service.lookup(self.service_name)
+        except NoRouteError:
+            self.writes_refused += 1
+            return
+        server = self.resolver(address)
+        if server is None or not server.alive or server.role is not Role.PRIMARY:
+            self.writes_refused += 1
+            return
+        if spec.object_id not in server.store:
+            self.writes_refused += 1
+            return
+        sample_time = self.sim.now
+        value = self.environment.sample(spec.object_id, sample_time,
+                                        spec.size_bytes)
+        accepted = server.client_write(spec.object_id, value,
+                                       source_time=sample_time)
+        if accepted:
+            self.writes_issued += 1
+        else:
+            self.writes_refused += 1
+
+
+from repro.workload.environment import EnvironmentModel  # noqa: E402

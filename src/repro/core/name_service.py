@@ -1,0 +1,41 @@
+"""The name service ("name file").
+
+In the paper's recovery path, "the new primary changes the address in the
+name file to its own internet address" so clients can find the service again.
+This is that name file: a tiny registry mapping service names to fabric
+addresses, shared by reference among the hosts of a scenario (the moral
+equivalent of an NFS-mounted file or a well-known name server).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import NoRouteError
+from repro.sim.engine import Simulator
+
+
+class NameService:
+    """Service name → current primary's fabric address."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._entries: Dict[str, int] = {}
+        #: Full change history: (time, name, address).
+        self.changes: List[Tuple[float, str, int]] = []
+
+    def publish(self, name: str, address: int) -> None:
+        """Set (or update) the address serving ``name``."""
+        self._entries[name] = address
+        self.changes.append((self.sim.now, name, address))
+        self.sim.trace.record("name_update", name=name, address=address)
+
+    def lookup(self, name: str) -> int:
+        """Address currently serving ``name``; raises when unpublished."""
+        address = self._entries.get(name)
+        if address is None:
+            raise NoRouteError(f"service {name!r} not published")
+        return address
+
+    def knows(self, name: str) -> bool:
+        return name in self._entries

@@ -1,0 +1,572 @@
+"""The replica server: primary and backup roles, failover, recruitment.
+
+One class plays every role in the paper's deployment:
+
+- **PRIMARY** — accepts client writes (Mach-IPC-style local RPC, costed on
+  the CPU model), runs admission control, transmits decoupled updates to the
+  backup, answers retransmission requests, pings the backup.
+- **BACKUP** — applies incoming updates (costed on its own CPU), watches for
+  silent objects and requests retransmissions, pings the primary, and on
+  detecting primary death *promotes itself*: updates the name file, activates
+  the local client application, and recruits a spare host as the new backup
+  (Section 4.4).
+- **SPARE** — waits for a ``RECRUIT`` message, then becomes the backup and
+  is brought up to date through state-transfer snapshots.
+
+Trace categories: ``client_response``, ``client_write_rejected``,
+``primary_write``, ``backup_apply``, ``backup_apply_stale``, ``retx_request``,
+``registration``, ``registration_replicated``, ``server_crash``,
+``failover``, ``backup_lost``, ``recruited``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.admission import AdmissionController, AdmissionDecision
+from repro.core.failure import PingManager
+from repro.core.name_service import NameService
+from repro.core.object_store import ObjectStore
+from repro.core.rtpb_protocol import (
+    RTPB_PORT,
+    PingAckMsg,
+    PingMsg,
+    RecruitAckMsg,
+    RecruitMsg,
+    RegisterAckMsg,
+    RegisterMsg,
+    RetxRequestMsg,
+    UpdateAckMsg,
+    UpdateMsg,
+    decode_message,
+    encode_message,
+)
+from repro.core.spec import InterObjectConstraint, ObjectSpec, ServiceConfig
+from repro.core.update_scheduler import UpdateTransmitter
+from repro.errors import MessageFormatError, NotPrimaryError, ReplicationError
+from repro.net.ip import Host
+from repro.sched.edf import EDFScheduler
+from repro.sched.processor import Processor
+from repro.sched.rm import RateMonotonicScheduler
+from repro.sched.task import BAND_REALTIME
+from repro.sim.engine import Simulator
+
+ROLE_PRIMARY_WIRE = 0
+ROLE_BACKUP_WIRE = 1
+
+
+class Role(enum.Enum):
+    PRIMARY = "primary"
+    BACKUP = "backup"
+    SPARE = "spare"
+
+
+class ReplicaServer:
+    """One RTPB server instance on one host."""
+
+    def __init__(self, sim: Simulator, host: Host, config: ServiceConfig,
+                 name_service: NameService, role: Role,
+                 service_name: str = "rtpb",
+                 peer_address: Optional[int] = None,
+                 spare_addresses: Optional[List[int]] = None) -> None:
+        self.sim = sim
+        self.host = host
+        self.config = config
+        self.name_service = name_service
+        self.role = role
+        self.service_name = service_name
+        self.peer_address = peer_address
+        self.spare_addresses = list(spare_addresses or [])
+        self.alive = True
+
+        scheduler = (EDFScheduler() if config.cpu_scheduler == "edf"
+                     else RateMonotonicScheduler())
+        self.processor = Processor(sim, scheduler, name=f"{host.name}.cpu")
+        self.deferrable_server = None
+        if config.use_deferrable_server:
+            from repro.sched.aperiodic import DeferrableServer
+
+            self.deferrable_server = DeferrableServer(
+                sim, self.processor, budget=config.ds_budget,
+                period=config.ds_period, name=f"{host.name}.ds")
+        self.store = ObjectStore()
+        self.admission = AdmissionController(config)
+        self.endpoint = host.udp_endpoint(RTPB_PORT,
+                                          on_receive=self._on_datagram)
+        self.transmitter = UpdateTransmitter(
+            sim, self.processor, self.store, config, send=self._send_to_peer)
+        wire_role = (ROLE_PRIMARY_WIRE if role is Role.PRIMARY
+                     else ROLE_BACKUP_WIRE)
+        self.ping = PingManager(
+            sim, config, role=wire_role, send=self._send_to_peer,
+            on_peer_dead=self._peer_dead, name=host.name)
+
+        #: The client application co-located with this server; registered by
+        #: the service facade so failover can activate the replica client.
+        self.local_client: Optional["SensorClient"] = None
+
+        # Counters / bookkeeping.
+        self.writes_handled = 0
+        self.updates_applied = 0
+        self.updates_stale = 0
+        self.retx_requests_sent = 0
+        self.retx_requests_served = 0
+        self._register_acked: Set[int] = set()
+        self._last_update_at: Dict[int, float] = {}
+        self._watchdog_running = False
+        self._recruiting = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bring the server up in its configured role."""
+        if self.role is Role.PRIMARY:
+            self.name_service.publish(self.service_name, self.host.address)
+            self.transmitter.start()
+            if self.peer_address is not None:
+                self.ping.start()
+        elif self.role is Role.BACKUP:
+            if self.peer_address is not None:
+                self.ping.start()
+            self._start_watchdog()
+        # SPARE: passive until recruited.
+
+    def crash(self) -> None:
+        """Suffer a crash failure: stop everything, NIC down (Section 4.1)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.host.fail()
+        self.ping.stop()
+        self.transmitter.stop()
+        self._watchdog_running = False
+        self.sim.trace.record("server_crash", server=self.host.name,
+                              role=self.role.value)
+
+    # ------------------------------------------------------------------
+    # Client interface (Mach-IPC-style local RPC)
+    # ------------------------------------------------------------------
+
+    def client_write(self, object_id: int, value: bytes, source_time: float,
+                     on_complete: Optional[Callable[[float], None]] = None
+                     ) -> bool:
+        """Handle one client write.
+
+        The write is costed on this server's CPU (``rpc_cost``) and completes
+        asynchronously; the response time reported to ``on_complete`` (and
+        traced as ``client_response``) is queueing + service time, the metric
+        of Figures 6-7.  Returns False (traced) when this server cannot
+        accept writes.
+        """
+        if not self.alive or self.role is not Role.PRIMARY:
+            self.sim.trace.record("client_write_rejected", object=object_id,
+                                  server=self.host.name)
+            return False
+        if object_id not in self.store:
+            raise ReplicationError(
+                f"client write to unregistered object {object_id}")
+        issue_time = self.sim.now
+
+        def handle(_job: object) -> None:
+            if not self.alive:
+                return
+            record = self.store.write(object_id, self.sim.now, value,
+                                      source_time)
+            self.writes_handled += 1
+            self.sim.trace.record("primary_write", object=object_id,
+                                  seq=record.seq, source_time=source_time)
+            self._after_primary_write(record, issue_time, on_complete)
+
+        self._submit_rpc(f"rpc-{object_id}", self.config.rpc_cost, handle)
+        return True
+
+    def _submit_rpc(self, name: str, cost: float, action) -> None:
+        """Route one client RPC onto the CPU: through the deferrable-server
+        reservation when configured, else the plain real-time band."""
+        if self.deferrable_server is not None:
+            self.deferrable_server.submit(name, cost, action=action)
+        else:
+            self.processor.submit(
+                name=name, cost=cost,
+                deadline=self.sim.now + self.config.rpc_deadline,
+                band=BAND_REALTIME, action=action)
+
+    def client_read(self, object_id: int,
+                    on_complete: Optional[Callable[[bytes, float, float],
+                                                   None]] = None) -> bool:
+        """Handle one client read.
+
+        Served by the primary, or by a backup when
+        ``config.backup_reads_enabled`` — a backup answer is stale by at
+        most the object's own δ^B, which is the registered contract.
+        ``on_complete`` receives ``(value, staleness, response_time)`` where
+        staleness is the age of the returned sample relative to the
+        external world (now − source_time).  Returns False (traced) when
+        this server cannot serve reads.
+        """
+        can_serve = self.alive and (
+            self.role is Role.PRIMARY
+            or (self.role is Role.BACKUP and self.config.backup_reads_enabled))
+        if not can_serve:
+            self.sim.trace.record("client_read_rejected", object=object_id,
+                                  server=self.host.name)
+            return False
+        if object_id not in self.store:
+            raise ReplicationError(
+                f"client read of unregistered object {object_id}")
+        issue_time = self.sim.now
+
+        def handle(_job: object) -> None:
+            if not self.alive:
+                return
+            record = self.store.get(object_id)
+            staleness = (self.sim.now - record.source_time
+                         if record.seq > 0 else float("inf"))
+            response = self.sim.now - issue_time
+            self.sim.trace.record("client_read", object=object_id,
+                                  server=self.host.name, issue=issue_time,
+                                  response=response, staleness=staleness)
+            if on_complete is not None:
+                on_complete(record.value, staleness, response)
+
+        self._submit_rpc(f"read-{object_id}", self.config.rpc_read_cost,
+                         handle)
+        return True
+
+    def _after_primary_write(self, record, issue_time: float,
+                             on_complete: Optional[Callable[[float], None]]
+                             ) -> None:
+        """Finish a client write.  RTPB responds immediately (decoupling);
+        baselines override this to couple transmission (window-consistent)
+        or to defer the response until the backup acks (eager)."""
+        response = self.sim.now - issue_time
+        self.sim.trace.record("client_response", object=record.spec.object_id,
+                              issue=issue_time, response=response)
+        if on_complete is not None:
+            on_complete(response)
+
+    # ------------------------------------------------------------------
+    # Registration (primary side)
+    # ------------------------------------------------------------------
+
+    def register_object(self, spec: ObjectSpec) -> AdmissionDecision:
+        """Admit an object and, on success, set up replication for it."""
+        if self.role is not Role.PRIMARY:
+            raise NotPrimaryError(
+                f"{self.host.name} is {self.role.value}, cannot register")
+        decision = self.admission.admit(spec)
+        self.sim.trace.record("registration", object=spec.object_id,
+                              accepted=decision.accepted,
+                              reason=decision.reason)
+        if not decision.accepted:
+            return decision
+        self.store.register(spec, update_period=decision.update_period)
+        self.transmitter.add_object(spec.object_id, decision.update_period)
+        if self.peer_address is not None:
+            self._replicate_registration(spec, decision.update_period)
+        return decision
+
+    def add_constraint(self, constraint: InterObjectConstraint
+                       ) -> AdmissionDecision:
+        """Admit an inter-object constraint; tightens transmission periods."""
+        if self.role is not Role.PRIMARY:
+            raise NotPrimaryError(
+                f"{self.host.name} is {self.role.value}, cannot add constraint")
+        decision = self.admission.add_constraint(constraint)
+        self.sim.trace.record(
+            "constraint", i=constraint.object_i, j=constraint.object_j,
+            accepted=decision.accepted, reason=decision.reason)
+        if decision.accepted:
+            for object_id in (constraint.object_i, constraint.object_j):
+                new_period = self.admission.update_period_of(object_id)
+                self.transmitter.remove_object(object_id)
+                self.transmitter.add_object(object_id, new_period)
+                self.store.get(object_id).update_period = new_period
+        return decision
+
+    def _replicate_registration(self, spec: ObjectSpec,
+                                update_period: float, attempt: int = 0) -> None:
+        """Send REGISTER to the backup, retrying until acked (UDP is lossy)."""
+        if (not self.alive or self.peer_address is None
+                or spec.object_id in self._register_acked):
+            return
+        if attempt >= self.config.registration_max_retries:
+            self.sim.trace.record("registration_gave_up",
+                                  object=spec.object_id)
+            return
+        self._send_to_peer(encode_message(RegisterMsg(
+            object_id=spec.object_id, size_bytes=spec.size_bytes,
+            client_period=spec.client_period,
+            delta_primary=spec.delta_primary,
+            delta_backup=spec.delta_backup,
+            update_period=update_period)))
+        self.sim.schedule(self.config.registration_retry_period,
+                          self._replicate_registration, spec, update_period,
+                          attempt + 1)
+
+    # ------------------------------------------------------------------
+    # Datagram handling
+    # ------------------------------------------------------------------
+
+    def _on_datagram(self, data: bytes, source: tuple, _info: dict) -> None:
+        if not self.alive:
+            return
+        try:
+            message = decode_message(data)
+        except MessageFormatError:
+            self.sim.trace.record("rtpb_garbled", server=self.host.name)
+            return
+        source_address = source[0]
+        if isinstance(message, UpdateMsg):
+            self._handle_update(message)
+        elif isinstance(message, PingMsg):
+            self.endpoint.send(source_address, RTPB_PORT,
+                               self.ping.make_ack(message))
+        elif isinstance(message, PingAckMsg):
+            self.ping.handle_ack(message)
+        elif isinstance(message, RetxRequestMsg):
+            self._handle_retx_request(message)
+        elif isinstance(message, RegisterMsg):
+            self._handle_register(message, source_address)
+        elif isinstance(message, RegisterAckMsg):
+            self._handle_register_ack(message, source_address)
+        elif isinstance(message, RecruitMsg):
+            self._handle_recruit(message, source_address)
+        elif isinstance(message, RecruitAckMsg):
+            self._handle_recruit_ack(message)
+        elif isinstance(message, UpdateAckMsg):
+            self._on_update_ack(message)
+
+    # -- backup side ------------------------------------------------------
+
+    def _handle_update(self, message: UpdateMsg) -> None:
+        if self.role is not Role.BACKUP or message.object_id not in self.store:
+            return
+        self._last_update_at[message.object_id] = self.sim.now
+        cost = self.config.apply_cost(len(message.payload) or 1)
+
+        def apply(_job: object) -> None:
+            if not self.alive:
+                return
+            applied = self.store.apply_update(
+                message.object_id, self.sim.now, message.seq,
+                message.write_time, message.source_time, message.payload)
+            if applied:
+                self.updates_applied += 1
+                self.sim.trace.record(
+                    "backup_apply", object=message.object_id,
+                    seq=message.seq, write_time=message.write_time,
+                    source_time=message.source_time,
+                    snapshot=message.snapshot)
+            else:
+                self.updates_stale += 1
+                self.sim.trace.record("backup_apply_stale",
+                                      object=message.object_id,
+                                      seq=message.seq)
+            if self.config.ack_updates:
+                # Ack stale arrivals too: the backup is at least as fresh as
+                # the received seq, and the original ack may have been lost —
+                # without this, a synchronous writer can wait forever.
+                self._send_to_peer(encode_message(UpdateAckMsg(
+                    object_id=message.object_id, seq=message.seq)))
+
+        self.processor.submit(name=f"apply-{message.object_id}", cost=cost,
+                              action=apply)
+
+    def _handle_register(self, message: RegisterMsg,
+                         source_address: int) -> None:
+        if self.role is not Role.BACKUP:
+            return
+        spec = ObjectSpec(
+            object_id=message.object_id,
+            name=f"obj-{message.object_id}",
+            size_bytes=message.size_bytes,
+            client_period=message.client_period,
+            delta_primary=message.delta_primary,
+            delta_backup=message.delta_backup)
+        self.store.register(spec, update_period=message.update_period)
+        self._last_update_at.setdefault(message.object_id, self.sim.now)
+        self.endpoint.send(source_address, RTPB_PORT, encode_message(
+            RegisterAckMsg(object_id=message.object_id, accepted=True)))
+
+    def _handle_register_ack(self, message: RegisterAckMsg,
+                             source_address: int) -> None:
+        if message.accepted:
+            self._register_acked.add(message.object_id)
+            self.sim.trace.record("registration_replicated",
+                                  object=message.object_id,
+                                  backup=source_address)
+
+    def _start_watchdog(self) -> None:
+        """Backup-initiated retransmission: poll for silent objects."""
+        if not self.config.retransmission_enabled or self._watchdog_running:
+            return
+        self._watchdog_running = True
+        self._watchdog_sweep()
+
+    def _watchdog_sweep(self) -> None:
+        if not self._watchdog_running or not self.alive:
+            return
+        now = self.sim.now
+        shortest_period = None
+        for record in self.store:
+            period = record.update_period
+            if period is None:
+                continue
+            if shortest_period is None or period < shortest_period:
+                shortest_period = period
+            last_heard = self._last_update_at.get(record.spec.object_id)
+            if last_heard is None:
+                continue
+            if now - last_heard > self.config.watchdog_factor * period:
+                self._request_retransmission(record.spec.object_id)
+                self._last_update_at[record.spec.object_id] = now
+        interval = (shortest_period / 2.0 if shortest_period is not None
+                    else self.config.ping_period)
+        self.sim.schedule(interval, self._watchdog_sweep)
+
+    def _request_retransmission(self, object_id: int) -> None:
+        if self.peer_address is None:
+            return
+        self.retx_requests_sent += 1
+        self.sim.trace.record("retx_request", object=object_id)
+        self._send_to_peer(encode_message(RetxRequestMsg(
+            object_id=object_id, last_seq=self.store.get(object_id).seq)))
+
+    # -- primary side ------------------------------------------------------
+
+    def _on_update_ack(self, message: UpdateAckMsg) -> None:
+        """Per-update acks are off in RTPB (Section 4.3); the eager baseline
+        overrides this to complete synchronous writes."""
+        self.sim.trace.record("update_ack", object=message.object_id,
+                              seq=message.seq)
+
+    def _handle_retx_request(self, message: RetxRequestMsg) -> None:
+        if self.role is not Role.PRIMARY:
+            return
+        if (message.object_id not in self.store
+                or not self.transmitter.knows(message.object_id)):
+            return
+        self.retx_requests_served += 1
+        self.transmitter.send_now(message.object_id)
+
+    # ------------------------------------------------------------------
+    # Failure handling (Section 4.4)
+    # ------------------------------------------------------------------
+
+    def _peer_dead(self) -> None:
+        if not self.alive:
+            return
+        if self.role is Role.PRIMARY:
+            # "If the backup is dead, the primary cancels the 'ping'
+            # messages as well as update events for each registered object"
+            # ... and then waits to recruit a new backup.
+            self.sim.trace.record("backup_lost", server=self.host.name)
+            self.transmitter.stop()
+            self.peer_address = None
+            self._register_acked.clear()
+            self._recruit_backup()
+        elif self.role is Role.BACKUP and self.config.failover_enabled:
+            self.promote()
+
+    def promote(self) -> None:
+        """Backup takes over as the new primary."""
+        if self.role is not Role.BACKUP or not self.alive:
+            return
+        self.sim.trace.record("failover", new_primary=self.host.name)
+        self.role = Role.PRIMARY
+        self.ping.stop()
+        self._watchdog_running = False
+        self.peer_address = None
+        # "changes the address in the name file to its own internet address"
+        self.name_service.publish(self.service_name, self.host.address)
+        # Re-run admission for the objects it inherited (they passed before,
+        # so this re-establishes transmission periods deterministically).
+        for record in self.store:
+            decision = self.admission.admit(record.spec)
+            if decision.accepted:
+                record.update_period = decision.update_period
+        # "invokes a backup version of the client application at the local
+        # machine, feeds the new client with information stored in its
+        # memory by an up call"
+        if self.local_client is not None:
+            self.local_client.activate(self)
+        # "waits to recruit a new backup"
+        self._recruit_backup()
+
+    def _recruit_backup(self) -> None:
+        if self._recruiting or not self.spare_addresses:
+            return
+        self._recruiting = True
+        self._send_recruit(self.spare_addresses[0], attempt=0)
+
+    def _send_recruit(self, spare: int, attempt: int) -> None:
+        if not self.alive or self.peer_address is not None:
+            return
+        if attempt >= self.config.registration_max_retries:
+            self.sim.trace.record("recruit_gave_up", spare=spare)
+            self._recruiting = False
+            return
+        self.endpoint.send(spare, RTPB_PORT, encode_message(RecruitMsg(
+            primary_address=self.host.address,
+            object_count=len(self.store))))
+        self.sim.schedule(self.config.registration_retry_period,
+                          self._send_recruit, spare, attempt + 1)
+
+    def _handle_recruit(self, message: RecruitMsg,
+                        source_address: int) -> None:
+        if self.role is not Role.SPARE:
+            # Already recruited: re-ack (the first ack may have been lost).
+            if self.role is Role.BACKUP and self.peer_address == source_address:
+                self.endpoint.send(source_address, RTPB_PORT, encode_message(
+                    RecruitAckMsg(backup_address=self.host.address)))
+            return
+        self.role = Role.BACKUP
+        self.peer_address = message.primary_address
+        self.ping.role = ROLE_BACKUP_WIRE
+        self.sim.trace.record("recruited", server=self.host.name,
+                              primary=message.primary_address)
+        self.endpoint.send(source_address, RTPB_PORT, encode_message(
+            RecruitAckMsg(backup_address=self.host.address)))
+        self.ping.start()
+        self._start_watchdog()
+
+    def _handle_recruit_ack(self, message: RecruitAckMsg) -> None:
+        if self.role is not Role.PRIMARY or self.peer_address is not None:
+            return
+        self._recruiting = False
+        self.peer_address = message.backup_address
+        if message.backup_address in self.spare_addresses:
+            self.spare_addresses.remove(message.backup_address)
+        # Replicate registrations, transfer state, resume update tasks.
+        for record in self.store:
+            self._replicate_registration(record.spec,
+                                         record.update_period or
+                                         self.config.update_period(record.spec))
+            seq, write_time, source_time, value = self.store.snapshot(
+                record.spec.object_id)
+            if seq > 0:
+                self._send_to_peer(encode_message(UpdateMsg(
+                    object_id=record.spec.object_id, seq=seq,
+                    write_time=write_time, source_time=source_time,
+                    payload=value, snapshot=True)))
+        self.transmitter.start()
+        for record in self.store:
+            period = record.update_period
+            if period is None:
+                period = self.config.update_period(record.spec)
+            self.transmitter.add_object(record.spec.object_id, period)
+        self.ping.start()
+
+    # ------------------------------------------------------------------
+
+    def _send_to_peer(self, data: bytes) -> None:
+        if self.alive and self.peer_address is not None:
+            self.endpoint.send(self.peer_address, RTPB_PORT, data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "crashed"
+        return f"<ReplicaServer {self.host.name} {self.role.value} {state}>"

@@ -1,0 +1,180 @@
+"""The RTPB service facade: a whole deployment in one object.
+
+Wires together everything Section 4 describes — a simulator, the LAN fabric,
+primary/backup/spare hosts with their servers, the name service, the
+environment, and sensing clients — so experiments and examples are a few
+lines::
+
+    service = RTPBService(seed=1)
+    for spec in homogeneous_specs(8, window=ms(200), client_period=ms(100)):
+        service.register(spec)
+    service.create_client(service.registered_specs())
+    service.run(horizon=30.0)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.admission import AdmissionDecision
+from repro.core.client import SensorClient
+from repro.core.failure import CrashInjector
+from repro.core.name_service import NameService
+from repro.core.server import ReplicaServer, Role
+from repro.core.spec import InterObjectConstraint, ObjectSpec, ServiceConfig
+from repro.errors import ReplicationError
+from repro.net.ip import Host
+from repro.net.link import LossModel, NetworkFabric
+from repro.sim.engine import Simulator
+from repro.workload.environment import EnvironmentModel
+
+PRIMARY_ADDRESS = 1
+BACKUP_ADDRESS = 2
+FIRST_SPARE_ADDRESS = 3
+
+
+class RTPBService:
+    """A complete RTPB deployment inside one simulator."""
+
+    #: Server classes, overridable by baselines (e.g. the eager-replication
+    #: baseline substitutes a primary whose writes wait for backup acks).
+    primary_server_class = ReplicaServer
+    backup_server_class = ReplicaServer
+    spare_server_class = ReplicaServer
+
+    def __init__(self, config: Optional[ServiceConfig] = None, seed: int = 0,
+                 loss_model: Optional[LossModel] = None, n_spares: int = 0,
+                 service_name: str = "rtpb") -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.service_name = service_name
+        self.sim = Simulator(seed=seed)
+        self.fabric = NetworkFabric(
+            self.sim, delay_bound=self.config.ell,
+            delay_min=self.config.link_delay_min, loss_model=loss_model)
+        self.name_service = NameService(self.sim)
+        self.environment = EnvironmentModel(seed=seed)
+        self.injector = CrashInjector(self.sim)
+
+        spare_addresses = [FIRST_SPARE_ADDRESS + index
+                           for index in range(n_spares)]
+
+        self.primary_host = Host(self.sim, self.fabric, "primary",
+                                 PRIMARY_ADDRESS)
+        self.backup_host = Host(self.sim, self.fabric, "backup",
+                                BACKUP_ADDRESS)
+        self.primary_server = self.primary_server_class(
+            self.sim, self.primary_host, self.config, self.name_service,
+            role=Role.PRIMARY, service_name=service_name,
+            peer_address=BACKUP_ADDRESS,
+            spare_addresses=list(spare_addresses))
+        self.backup_server = self.backup_server_class(
+            self.sim, self.backup_host, self.config, self.name_service,
+            role=Role.BACKUP, service_name=service_name,
+            peer_address=PRIMARY_ADDRESS,
+            spare_addresses=list(spare_addresses))
+
+        self.spare_servers: List[ReplicaServer] = []
+        for address in spare_addresses:
+            host = Host(self.sim, self.fabric, f"spare{address}", address)
+            self.spare_servers.append(self.spare_server_class(
+                self.sim, host, self.config, self.name_service,
+                role=Role.SPARE, service_name=service_name))
+
+        self.servers: Dict[int, ReplicaServer] = {
+            PRIMARY_ADDRESS: self.primary_server,
+            BACKUP_ADDRESS: self.backup_server,
+        }
+        for server in self.spare_servers:
+            self.servers[server.host.address] = server
+
+        self.clients: List[SensorClient] = []
+        self._registered: List[ObjectSpec] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Configuration phase
+    # ------------------------------------------------------------------
+
+    def register(self, spec: ObjectSpec) -> AdmissionDecision:
+        """Register one object with the (current) primary."""
+        decision = self.current_primary().register_object(spec)
+        if decision.accepted:
+            self._registered.append(spec)
+        return decision
+
+    def register_all(self, specs: Sequence[ObjectSpec]
+                     ) -> List[AdmissionDecision]:
+        """Register many objects; returns one decision per spec, in order."""
+        return [self.register(spec) for spec in specs]
+
+    def add_constraint(self, constraint: InterObjectConstraint
+                       ) -> AdmissionDecision:
+        return self.current_primary().add_constraint(constraint)
+
+    def registered_specs(self) -> List[ObjectSpec]:
+        """Specs accepted so far (what a client should write to)."""
+        return list(self._registered)
+
+    def create_client(self, specs: Sequence[ObjectSpec],
+                      name: str = "client",
+                      write_jitter: float = 0.0) -> SensorClient:
+        """Create the sensing client application for ``specs``.
+
+        The client object is registered as the local client application on
+        both replicas, modelling the paper's primary-resident client and its
+        backup-resident replica copy (activated at failover).
+        """
+        client = SensorClient(
+            self.sim, self.environment, self.name_service, self.service_name,
+            resolver=self.resolve_server, specs=specs, name=name,
+            write_jitter=write_jitter)
+        self.clients.append(client)
+        self.primary_server.local_client = client
+        self.backup_server.local_client = client
+        for spare in self.spare_servers:
+            spare.local_client = client
+        return client
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.primary_server.start()
+        self.backup_server.start()
+        for spare in self.spare_servers:
+            spare.start()
+        for client in self.clients:
+            client.start()
+
+    def run(self, horizon: float) -> None:
+        """Run the deployment until virtual time ``horizon``."""
+        self.start()
+        self.sim.run(until=horizon)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def resolve_server(self, address: int) -> Optional[ReplicaServer]:
+        return self.servers.get(address)
+
+    def current_primary(self) -> ReplicaServer:
+        """The live server currently playing the primary role."""
+        for server in self.servers.values():
+            if server.alive and server.role is Role.PRIMARY:
+                return server
+        raise ReplicationError("no live primary in the deployment")
+
+    def current_backup(self) -> Optional[ReplicaServer]:
+        for server in self.servers.values():
+            if server.alive and server.role is Role.BACKUP:
+                return server
+        return None
+
+    @property
+    def trace(self):
+        return self.sim.trace

@@ -1,0 +1,236 @@
+"""Update transmission scheduling (Section 4.3).
+
+Client updates are decoupled from backup updates: the primary runs separate
+transmission work that pushes the *latest* snapshot of each object to the
+backup.
+
+Three modes:
+
+- **Normal** — one periodic real-time task per object with period
+  ``(δ_i - ℓ)/slack`` (the admission-granted period).  ``replace_pending``
+  is set: if a transmission job is still queued when the next releases,
+  the stale one is superseded — sending an outdated snapshot twice is
+  pointless.
+- **Compressed** — "the primary schedules as many updates to the backup as
+  the resources allow" [22]: whenever the CPU goes idle the transmitter
+  submits the next object's transmission round-robin, so update frequency is
+  set by CPU capacity, not by window size.
+- **DCS** — the paper's "optimization of scheduling update messages"
+  future-work item: granted periods are specialised by the Han-Lin ``Sr``
+  transform and the transmission tasks laid out on the pinwheel timetable's
+  fixed offsets (Theorem 3), so the update stream fires with (near-)zero
+  phase variance.  The admission controller's Liu-Layland test is exactly
+  Inequality 2.2, so every admitted set is ``Sr``-feasible by construction.
+
+Either way a transmission job's completion action serialises the current
+snapshot and hands it to the RTPB endpoint; ``send_now`` provides the
+out-of-band path used to answer backup retransmission requests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.object_store import ObjectStore
+from repro.core.rtpb_protocol import UpdateMsg, encode_message
+from repro.core.spec import SchedulingMode, ServiceConfig
+from repro.errors import UnknownObjectError
+from repro.sched.processor import Processor
+from repro.sched.task import BAND_BACKGROUND, Task
+from repro.sim.engine import Simulator
+
+#: Sends an encoded RTPB message to the current backup; installed by the
+#: server (it knows the peer address, which changes at recruitment).
+SendFn = Callable[[bytes], None]
+
+
+class UpdateTransmitter:
+    """Owns the per-object transmission work on the primary's CPU."""
+
+    def __init__(self, sim: Simulator, processor: Processor,
+                 store: ObjectStore, config: ServiceConfig,
+                 send: SendFn) -> None:
+        self.sim = sim
+        self.processor = processor
+        self.store = store
+        self.config = config
+        self.send = send
+        self.mode = config.scheduling_mode
+        self.updates_sent = 0
+        self.retransmissions_sent = 0
+        self._object_ids: List[int] = []
+        self._granted_periods: Dict[int, float] = {}
+        #: Effective (specialised) periods in DCS mode; equals the granted
+        #: period in other modes.
+        self.effective_periods: Dict[int, float] = {}
+        self._round_robin_index = 0
+        self._running = False
+        if self.mode is SchedulingMode.COMPRESSED:
+            processor.on_idle = self._fill_idle
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin transmitting (idempotent)."""
+        self._running = True
+        if self.mode is SchedulingMode.COMPRESSED:
+            self._kick()
+
+    def stop(self) -> None:
+        """Stop all transmission work (backup declared dead, or failover)."""
+        self._running = False
+        for object_id in self._object_ids:
+            task_name = self._task_name(object_id)
+            if self.processor.has_task(task_name):
+                self.processor.remove_task(task_name)
+        self._object_ids.clear()
+
+    # ------------------------------------------------------------------
+    # Object management
+    # ------------------------------------------------------------------
+
+    def add_object(self, object_id: int, update_period: float) -> None:
+        """Install transmission work for a newly admitted object."""
+        if object_id in self._object_ids:
+            return
+        self._object_ids.append(object_id)
+        self._granted_periods[object_id] = update_period
+        self.effective_periods[object_id] = update_period
+        if self.mode is SchedulingMode.NORMAL:
+            cost = self.config.tx_cost(
+                self.store.get(object_id).spec.size_bytes)
+            task = Task(
+                name=self._task_name(object_id),
+                period=update_period,
+                wcet=min(cost, update_period),
+                replace_pending=True,
+                action=lambda job, oid=object_id: self._transmit(oid, False),
+            )
+            self.processor.add_task(task)
+        elif self.mode is SchedulingMode.DCS:
+            self._rebuild_dcs_layout()
+        else:
+            self._kick()
+
+    def remove_object(self, object_id: int) -> None:
+        if object_id not in self._object_ids:
+            return
+        self._object_ids.remove(object_id)
+        self._granted_periods.pop(object_id, None)
+        task_name = self._task_name(object_id)
+        if self.processor.has_task(task_name):
+            self.processor.remove_task(task_name)
+        if self.mode is SchedulingMode.DCS:
+            self._rebuild_dcs_layout()
+
+    def object_count(self) -> int:
+        return len(self._object_ids)
+
+    def knows(self, object_id: int) -> bool:
+        """Whether this transmitter manages transmission for ``object_id``."""
+        return object_id in self._object_ids
+
+    # ------------------------------------------------------------------
+    # Transmission paths
+    # ------------------------------------------------------------------
+
+    def send_now(self, object_id: int) -> None:
+        """Out-of-band send answering a backup retransmission request.
+
+        Costs CPU like any transmission (submitted as a background job so it
+        cannot jeopardise guaranteed update tasks).
+        """
+        if object_id not in self._object_ids:
+            raise UnknownObjectError(
+                f"object {object_id} has no transmission state")
+        cost = self.config.tx_cost(self.store.get(object_id).spec.size_bytes)
+        self.processor.submit(
+            name=f"retx-{object_id}", cost=cost, band=BAND_BACKGROUND,
+            action=lambda job: self._transmit(object_id, True))
+
+    def _transmit(self, object_id: int, is_retransmission: bool) -> None:
+        if not self._running or object_id not in self._object_ids:
+            return
+        seq, write_time, source_time, value = self.store.snapshot(object_id)
+        if seq == 0:
+            return  # nothing written yet; nothing worth shipping
+        message = UpdateMsg(object_id=object_id, seq=seq,
+                            write_time=write_time, source_time=source_time,
+                            payload=value)
+        self.send(encode_message(message))
+        self.updates_sent += 1
+        if is_retransmission:
+            self.retransmissions_sent += 1
+        self.sim.trace.record("update_sent", object=object_id, seq=seq,
+                              write_time=write_time,
+                              retransmission=is_retransmission)
+
+    # ------------------------------------------------------------------
+    # DCS mode
+    # ------------------------------------------------------------------
+
+    def _rebuild_dcs_layout(self) -> None:
+        """Re-lay the transmission tasks on the pinwheel timetable.
+
+        Called on every membership change; the whole set is specialised and
+        placed together so the fixed offsets stay collision-free.  Jobs are
+        installed as ordinary processor tasks with the specialised period
+        and the timetable offset as their phase, so CPU accounting (and
+        contention with client RPCs) remains honest.
+        """
+        from repro.sched.dcs import DistanceConstrainedScheduler
+
+        for object_id in self._object_ids:
+            task_name = self._task_name(object_id)
+            if self.processor.has_task(task_name):
+                self.processor.remove_task(task_name)
+        self.effective_periods.clear()
+        if not self._object_ids:
+            return
+        blueprint = [
+            Task(name=self._task_name(object_id),
+                 period=self._granted_periods[object_id],
+                 wcet=min(self.config.tx_cost(
+                     self.store.get(object_id).spec.size_bytes),
+                     self._granted_periods[object_id]))
+            for object_id in self._object_ids
+        ]
+        layout = DistanceConstrainedScheduler(blueprint, scheme="sr")
+        offsets = {entry.name: entry.offset for entry in layout.timetable}
+        for object_id in self._object_ids:
+            task_name = self._task_name(object_id)
+            period = layout.effective_periods[task_name]
+            self.effective_periods[object_id] = period
+            cost = min(self.config.tx_cost(
+                self.store.get(object_id).spec.size_bytes), period)
+            self.processor.add_task(Task(
+                name=task_name, period=period, wcet=cost,
+                phase=offsets[task_name], replace_pending=True,
+                action=lambda job, oid=object_id: self._transmit(oid, False),
+            ))
+
+    # ------------------------------------------------------------------
+    # Compressed mode
+    # ------------------------------------------------------------------
+
+    def _kick(self) -> None:
+        """(Re)start idle-filling when objects exist and the CPU is idle."""
+        if self._running and self._object_ids and self.processor.idle:
+            self._fill_idle()
+
+    def _fill_idle(self) -> None:
+        if not self._running or not self._object_ids:
+            return
+        self._round_robin_index %= len(self._object_ids)
+        object_id = self._object_ids[self._round_robin_index]
+        self._round_robin_index += 1
+        cost = self.config.tx_cost(self.store.get(object_id).spec.size_bytes)
+        self.processor.submit(
+            name=f"ctx-{object_id}", cost=cost, band=BAND_BACKGROUND,
+            action=lambda job: self._transmit(object_id, False))
+
+    @staticmethod
+    def _task_name(object_id: int) -> str:
+        return f"tx-{object_id}"

@@ -1,0 +1,29 @@
+"""Experiment harness: regenerate every figure in the paper's evaluation."""
+
+from repro.experiments.harness import (
+    METRIC_TRACE_CATEGORIES,
+    RunResult,
+    run_scenario,
+)
+from repro.experiments.figures import (
+    figure6_response_time_with_admission,
+    figure7_response_time_without_admission,
+    figure8_distance_vs_loss,
+    figure9_distance_with_admission,
+    figure10_distance_without_admission,
+    figure11_inconsistency_normal,
+    figure12_inconsistency_compressed,
+)
+
+__all__ = [
+    "RunResult",
+    "run_scenario",
+    "METRIC_TRACE_CATEGORIES",
+    "figure6_response_time_with_admission",
+    "figure7_response_time_without_admission",
+    "figure8_distance_vs_loss",
+    "figure9_distance_with_admission",
+    "figure10_distance_without_admission",
+    "figure11_inconsistency_normal",
+    "figure12_inconsistency_compressed",
+]

@@ -1,0 +1,91 @@
+"""Command-line figure regeneration:  ``python -m repro.experiments``.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig8
+    python -m repro.experiments fig11 --horizon 20 --seed 3
+    python -m repro.experiments all --quick
+
+``--quick`` shrinks every sweep to a 2x2 grid for a fast smoke pass; the
+full defaults match the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figures
+from repro.units import ms
+
+FIGURES = {
+    "fig6": figures.figure6_response_time_with_admission,
+    "fig7": figures.figure7_response_time_without_admission,
+    "fig8": figures.figure8_distance_vs_loss,
+    "fig9": figures.figure9_distance_with_admission,
+    "fig10": figures.figure10_distance_without_admission,
+    "fig11": figures.figure11_inconsistency_normal,
+    "fig12": figures.figure12_inconsistency_compressed,
+}
+
+_QUICK_OVERRIDES = {
+    "fig6": dict(object_counts=(8, 32), windows=(ms(100), ms(400))),
+    "fig7": dict(object_counts=(8, 56), windows=(ms(100), ms(400))),
+    "fig8": dict(loss_probabilities=(0.0, 0.1),
+                 write_periods=(ms(50), ms(200))),
+    "fig9": dict(object_counts=(8, 56), windows=(ms(100),)),
+    "fig10": dict(object_counts=(8, 56), windows=(ms(100),)),
+    "fig11": dict(loss_probabilities=(0.0, 0.1),
+                  windows=(ms(50), ms(200))),
+    "fig12": dict(loss_probabilities=(0.0, 0.1),
+                  windows=(ms(50), ms(200))),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures (6-12).")
+    parser.add_argument("figure",
+                        choices=sorted(FIGURES) + ["all", "list"],
+                        help="which figure to regenerate")
+    parser.add_argument("--horizon", type=float, default=None,
+                        help="virtual-time horizon per run (seconds)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root random seed")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink sweeps to a fast 2x2 smoke pass")
+    return parser
+
+
+def run_figure(name: str, args: argparse.Namespace) -> None:
+    kwargs = {"seed": args.seed}
+    if args.horizon is not None:
+        kwargs["horizon"] = args.horizon
+    if args.quick:
+        kwargs.update(_QUICK_OVERRIDES[name])
+    started = time.time()
+    series = FIGURES[name](**kwargs)
+    elapsed = time.time() - started
+    print(series.render())
+    print(f"[{name}: {elapsed:.1f}s wall]")
+    print()
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.figure == "list":
+        for name, func in sorted(FIGURES.items()):
+            summary = (func.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:6s} {summary}")
+        return 0
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        run_figure(name, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""One function per evaluation figure (Figures 6-12).
+
+Each returns a :class:`~repro.metrics.report.Series` whose curves match the
+paper's: the same x-axis, the same per-curve parameter, the same metric on y
+(reported in milliseconds).  Default sweep sizes are chosen so a full figure
+regenerates in tens of seconds on a laptop; pass smaller tuples for quick
+looks or larger ones for smoother curves.
+
+Paper-shape expectations (what EXPERIMENTS.md checks):
+
+- **Fig 6**: with admission control, response time is flat in the number of
+  *offered* objects (the controller caps what enters), and larger windows
+  admit more objects / respond no worse.
+- **Fig 7**: without admission control, response time is flat until the
+  window-dependent capacity knee, then grows dramatically; larger windows
+  push the knee right.
+- **Fig 8**: average maximum primary-backup distance grows with loss
+  probability and with client write rate.
+- **Fig 9/10**: distance flat in offered objects with admission control,
+  growing past the knee without.
+- **Fig 11**: (normal scheduling) inconsistency episodes last longer with
+  more loss, and *longer* with larger windows (update period scales with
+  the window).
+- **Fig 12**: (compressed scheduling) still longer with more loss, but
+  *shorter* with larger windows — the crossover the paper highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.spec import SchedulingMode
+from repro.experiments.harness import run_scenario
+from repro.metrics.report import Series
+from repro.units import ms, to_ms
+from repro.workload.scenarios import Scenario
+
+DEFAULT_WINDOWS = (ms(100.0), ms(200.0), ms(400.0))
+DEFAULT_OBJECT_COUNTS = (8, 16, 24, 32, 40, 48, 56)
+DEFAULT_LOSS = (0.0, 0.02, 0.04, 0.06, 0.08, 0.10)
+DEFAULT_WRITE_PERIODS = (ms(100.0), ms(200.0), ms(400.0))
+
+
+def _window_label(window: float) -> str:
+    return f"window={to_ms(window):.0f}ms"
+
+
+def _rate_label(period: float) -> str:
+    return f"write-period={to_ms(period):.0f}ms"
+
+
+# ---------------------------------------------------------------------------
+# Figures 6-7: client response time
+# ---------------------------------------------------------------------------
+
+
+def figure6_response_time_with_admission(
+        object_counts: Sequence[int] = DEFAULT_OBJECT_COUNTS,
+        windows: Sequence[float] = DEFAULT_WINDOWS,
+        horizon: float = 10.0, seed: int = 0) -> Series:
+    """Figure 6: response time vs #objects offered, admission control ON."""
+    return _response_series("Figure 6: client response time with admission "
+                            "control", object_counts, windows, True,
+                            horizon, seed)
+
+
+def figure7_response_time_without_admission(
+        object_counts: Sequence[int] = DEFAULT_OBJECT_COUNTS,
+        windows: Sequence[float] = DEFAULT_WINDOWS,
+        horizon: float = 10.0, seed: int = 0) -> Series:
+    """Figure 7: response time vs #objects accepted, admission control OFF."""
+    return _response_series("Figure 7: client response time without "
+                            "admission control", object_counts, windows,
+                            False, horizon, seed)
+
+
+def _response_series(name: str, object_counts: Sequence[int],
+                     windows: Sequence[float], admission: bool,
+                     horizon: float, seed: int) -> Series:
+    series = Series(name=name, x_label="objects",
+                    y_label="mean response (ms)", curve_label="window size")
+    for window in windows:
+        for count in object_counts:
+            result = run_scenario(Scenario(
+                n_objects=count, window=window, client_period=ms(100.0),
+                admission_enabled=admission, horizon=horizon, seed=seed))
+            series.add_point(_window_label(window), count,
+                             to_ms(result.response.mean))
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: distance vs loss probability, per client write rate
+# ---------------------------------------------------------------------------
+
+
+def figure8_distance_vs_loss(
+        loss_probabilities: Sequence[float] = DEFAULT_LOSS,
+        write_periods: Sequence[float] = DEFAULT_WRITE_PERIODS,
+        n_objects: int = 8, window: float = ms(200.0),
+        horizon: float = 15.0, seed: int = 0) -> Series:
+    """Figure 8: average maximum primary/backup distance vs message loss."""
+    series = Series(name="Figure 8: average maximum primary/backup distance",
+                    x_label="loss probability",
+                    y_label="avg max distance (ms)",
+                    curve_label="client write rate")
+    for period in write_periods:
+        for loss in loss_probabilities:
+            result = run_scenario(Scenario(
+                n_objects=n_objects, window=window, client_period=period,
+                loss_probability=loss, horizon=horizon, seed=seed))
+            series.add_point(_rate_label(period), loss,
+                             to_ms(result.avg_max_distance))
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figures 9-10: distance vs #objects
+# ---------------------------------------------------------------------------
+
+
+def figure9_distance_with_admission(
+        object_counts: Sequence[int] = DEFAULT_OBJECT_COUNTS,
+        windows: Sequence[float] = DEFAULT_WINDOWS,
+        loss_probability: float = 0.02,
+        horizon: float = 10.0, seed: int = 0) -> Series:
+    """Figure 9: avg max distance vs #objects offered, admission ON."""
+    return _distance_series("Figure 9: avg max primary/backup distance with "
+                            "admission control", object_counts, windows,
+                            True, loss_probability, horizon, seed)
+
+
+def figure10_distance_without_admission(
+        object_counts: Sequence[int] = DEFAULT_OBJECT_COUNTS,
+        windows: Sequence[float] = DEFAULT_WINDOWS,
+        loss_probability: float = 0.02,
+        horizon: float = 10.0, seed: int = 0) -> Series:
+    """Figure 10: avg max distance vs #objects accepted, admission OFF."""
+    return _distance_series("Figure 10: avg max primary/backup distance "
+                            "without admission control", object_counts,
+                            windows, False, loss_probability, horizon, seed)
+
+
+def _distance_series(name: str, object_counts: Sequence[int],
+                     windows: Sequence[float], admission: bool,
+                     loss: float, horizon: float, seed: int) -> Series:
+    series = Series(name=name, x_label="objects",
+                    y_label="avg max distance (ms)",
+                    curve_label="window size")
+    for window in windows:
+        for count in object_counts:
+            result = run_scenario(Scenario(
+                n_objects=count, window=window, client_period=ms(100.0),
+                loss_probability=loss, admission_enabled=admission,
+                horizon=horizon, seed=seed))
+            series.add_point(_window_label(window), count,
+                             to_ms(result.avg_max_distance))
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figures 11-12: duration of backup inconsistency
+# ---------------------------------------------------------------------------
+
+
+def figure11_inconsistency_normal(
+        loss_probabilities: Sequence[float] = DEFAULT_LOSS,
+        windows: Sequence[float] = (ms(50.0), ms(100.0), ms(200.0)),
+        n_objects: int = 24, horizon: float = 15.0, seed: int = 0) -> Series:
+    """Figure 11: duration of backup inconsistency, normal scheduling."""
+    return _inconsistency_series(
+        "Figure 11: duration of backup inconsistency (normal scheduling)",
+        loss_probabilities, windows, SchedulingMode.NORMAL, n_objects,
+        horizon, seed)
+
+
+def figure12_inconsistency_compressed(
+        loss_probabilities: Sequence[float] = DEFAULT_LOSS,
+        windows: Sequence[float] = (ms(50.0), ms(100.0), ms(200.0)),
+        n_objects: int = 24, horizon: float = 15.0, seed: int = 0) -> Series:
+    """Figure 12: duration of backup inconsistency, compressed scheduling."""
+    return _inconsistency_series(
+        "Figure 12: duration of backup inconsistency (compressed scheduling)",
+        loss_probabilities, windows, SchedulingMode.COMPRESSED, n_objects,
+        horizon, seed)
+
+
+def _inconsistency_series(name: str, loss_probabilities: Sequence[float],
+                          windows: Sequence[float], mode: SchedulingMode,
+                          n_objects: int, horizon: float,
+                          seed: int) -> Series:
+    series = Series(name=name, x_label="loss probability",
+                    y_label="avg inconsistency duration (ms)",
+                    curve_label="window size")
+    for window in windows:
+        for loss in loss_probabilities:
+            result = run_scenario(Scenario(
+                n_objects=n_objects, window=window, client_period=ms(25.0),
+                loss_probability=loss, scheduling_mode=mode,
+                horizon=horizon, seed=seed,
+                # A populous deployment with fast writers: the compressed
+                # round-robin interval (n_objects x tx cost) is then large
+                # enough that window violations are observable at all, and
+                # the window-direction flip the paper highlights emerges.
+            ))
+            series.add_point(_window_label(window), loss,
+                             to_ms(result.avg_inconsistency))
+    return series

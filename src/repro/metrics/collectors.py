@@ -1,0 +1,301 @@
+"""Metric collectors over finished runs.
+
+All collectors are pure functions of a finished
+:class:`~repro.core.service.RTPBService` (its trace and object stores); they
+never mutate the simulation.  Times in the returned values are in the
+simulator's native seconds — convert with :func:`repro.units.to_ms` for
+paper-style tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.consistency.checker import ExternalConsistencyChecker, Violation
+from repro.core.service import RTPBService
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+    @staticmethod
+    def empty() -> "SummaryStats":
+        return SummaryStats(0, math.nan, math.nan, math.nan, math.nan)
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Summary statistics of ``values`` (NaNs when empty)."""
+    if not values:
+        return SummaryStats.empty()
+    ordered = sorted(values)
+    return SummaryStats(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=_percentile(ordered, 0.50),
+        p95=_percentile(ordered, 0.95),
+        maximum=ordered[-1],
+    )
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    if not ordered:
+        return math.nan
+    index = min(len(ordered) - 1, int(math.ceil(fraction * len(ordered))) - 1)
+    return ordered[max(0, index)]
+
+
+# ---------------------------------------------------------------------------
+# Client response time (Figures 6-7)
+# ---------------------------------------------------------------------------
+
+
+def response_times(service: RTPBService,
+                   start: float = 0.0) -> List[float]:
+    """All client-write response times observed after ``start``."""
+    return [record["response"]
+            for record in service.trace.select("client_response")
+            if record["issue"] >= start]
+
+
+def response_time_stats(service: RTPBService,
+                        start: float = 0.0) -> SummaryStats:
+    return summarize(response_times(service, start))
+
+
+def unanswered_writes(service: RTPBService) -> int:
+    """Writes issued whose RPC never completed (overload starvation)."""
+    issued = sum(client.writes_issued for client in service.clients)
+    answered = len(service.trace.select("client_response"))
+    return max(0, issued - answered)
+
+
+# ---------------------------------------------------------------------------
+# Primary-backup distance (Figures 8-10)
+# ---------------------------------------------------------------------------
+
+
+def _distance_events(service: RTPBService, object_id: int
+                     ) -> List[Tuple[float, str, float]]:
+    """Merged (time, kind, value) events for one object.
+
+    ``kind`` is ``"write"`` (value = write instant, advancing ``W_P``) or
+    ``"apply"`` (value = write_time of the version applied, advancing
+    ``W_B``).
+    """
+    events: List[Tuple[float, str, float]] = []
+    for record in service.trace.select("primary_write", object=object_id):
+        events.append((record.time, "write", record.time))
+    for record in service.trace.select("backup_apply", object=object_id):
+        events.append((record.time, "apply", record["write_time"]))
+    events.sort(key=lambda event: event[0])
+    return events
+
+
+def distance_timeline(service: RTPBService, object_id: int,
+                      horizon: float, start: float = 0.0,
+                      allowance: float = 0.0
+                      ) -> List[Tuple[float, float]]:
+    """Piecewise-constant primary-backup distance as (time, distance) steps.
+
+    Distance at ``t`` is ``W_P(t - allowance) - W_B(t)``: how far the write
+    frontier the backup *should already reflect* (writes older than the
+    propagation ``allowance``) runs ahead of the write time of the version
+    the backup holds.  With ``allowance = 0`` this is the raw lag; the
+    figure-8/9/10 collectors pass the provisioned lag (update period + ℓ),
+    so a loss-free run measures ≈ 0 and every lost update shows up as a
+    positive step — matching the paper's "close to zero when there is no
+    message loss".
+
+    Measurement begins at the first backup apply (before that the backup
+    legitimately holds nothing).  Clamped to events in ``[start, horizon]``.
+    """
+    timeline: List[Tuple[float, float]] = []
+    frontier: Optional[float] = None
+    w_b: Optional[float] = None
+    events: List[Tuple[float, str, float]] = []
+    for time, kind, value in _distance_events(service, object_id):
+        if kind == "write":
+            events.append((time + allowance, "write", value))
+        else:
+            events.append((time, "apply", value))
+    events.sort(key=lambda event: event[0])
+    for time, kind, value in events:
+        if time > horizon:
+            break
+        if kind == "write":
+            frontier = value
+        else:
+            w_b = max(w_b, value) if w_b is not None else value
+        if frontier is None or w_b is None:
+            continue
+        if time >= start:
+            timeline.append((time, max(0.0, frontier - w_b)))
+    return timeline
+
+
+def _propagation_allowance(service: RTPBService, object_id: int) -> float:
+    """The provisioned primary→backup lag: update period + delay bound ℓ."""
+    primary = service.current_primary()
+    record = primary.store.get(object_id)
+    period = record.update_period
+    if period is None:
+        period = service.config.update_period(record.spec)
+    return period + service.config.ell
+
+
+def _lag_episode_durations(timeline: List[Tuple[float, float]],
+                           horizon: float) -> List[float]:
+    """Durations of maximal intervals where the lag is positive.
+
+    Within such an interval the backup's *lateness* (seconds behind where
+    it should be) grows linearly, so the episode duration IS the maximum
+    lateness reached — the natural "distance in time" between the replicas.
+    """
+    durations: List[float] = []
+    episode_start: Optional[float] = None
+    for time, distance in timeline:
+        behind = distance > 1e-12
+        if behind and episode_start is None:
+            episode_start = time
+        elif not behind and episode_start is not None:
+            durations.append(time - episode_start)
+            episode_start = None
+    if episode_start is not None:
+        durations.append(horizon - episode_start)
+    return durations
+
+
+def max_distance_per_object(service: RTPBService, horizon: float,
+                            start: float = 0.0) -> Dict[int, float]:
+    """Per-object maximum primary-backup distance over the run.
+
+    *Distance* here is lateness: the longest stretch of time during which
+    the backup was missing some version it should already have had under
+    the provisioned propagation allowance (update period + ℓ).  A loss-free
+    run measures ≈ 0; each lost update opens a lateness episode lasting
+    until the next successful update — the quantity the paper's Figures
+    8-10 track ("close to zero when there is no message loss", growing with
+    loss rate and client write rate).
+    """
+    result: Dict[int, float] = {}
+    for spec in service.registered_specs():
+        allowance = _propagation_allowance(service, spec.object_id)
+        timeline = distance_timeline(service, spec.object_id, horizon,
+                                     start, allowance=allowance)
+        durations = _lag_episode_durations(timeline, horizon)
+        result[spec.object_id] = max(durations, default=0.0)
+    return result
+
+
+def average_max_distance(service: RTPBService, horizon: float,
+                         start: float = 0.0) -> float:
+    """The paper's "average maximum primary/backup distance"."""
+    per_object = max_distance_per_object(service, horizon, start)
+    if not per_object:
+        return 0.0
+    return sum(per_object.values()) / len(per_object)
+
+
+# ---------------------------------------------------------------------------
+# Duration of backup inconsistency (Figures 11-12)
+# ---------------------------------------------------------------------------
+
+
+def inconsistency_durations(service: RTPBService, horizon: float,
+                            start: float = 0.0) -> List[float]:
+    """Durations of all backup-inconsistency episodes, all objects.
+
+    The backup is *inconsistent* for object *i* while it fails window
+    consistency: some version written more than δ_i ago is still missing
+    from it (``W_B(t) < W_P(t - δ_i)``).  One episode runs from the first
+    such instant to the apply that clears it; episodes still open at the
+    horizon count up to the horizon.  "If an update message is lost, the
+    backup would stay inconsistent until the next update message comes"
+    (Section 5.3) — these durations are exactly that.
+    """
+    durations: List[float] = []
+    windows = {spec.object_id: spec.window
+               for spec in service.registered_specs()}
+    for object_id, window in windows.items():
+        timeline = distance_timeline(service, object_id, horizon, start,
+                                     allowance=window)
+        durations.extend(_lag_episode_durations(timeline, horizon))
+    return durations
+
+
+def average_inconsistency_duration(service: RTPBService, horizon: float,
+                                   start: float = 0.0) -> float:
+    """Mean episode duration; 0 when the backup never left its window."""
+    durations = inconsistency_durations(service, horizon, start)
+    if not durations:
+        return 0.0
+    return sum(durations) / len(durations)
+
+
+# ---------------------------------------------------------------------------
+# Consistency audits
+# ---------------------------------------------------------------------------
+
+
+def primary_external_violations(service: RTPBService, start: float,
+                                end: float) -> Dict[int, List[Violation]]:
+    """Per-object δ^P violations at the primary (empty dict values = clean)."""
+    primary = service.current_primary()
+    result: Dict[int, List[Violation]] = {}
+    for record in primary.store:
+        checker = ExternalConsistencyChecker(record.spec.delta_primary)
+        result[record.spec.object_id] = checker.check(record.history,
+                                                      start, end)
+    return result
+
+
+def backup_external_violations(service: RTPBService, start: float,
+                               end: float) -> Dict[int, List[Violation]]:
+    """Per-object δ^B violations at the backup."""
+    backup = service.current_backup()
+    result: Dict[int, List[Violation]] = {}
+    if backup is None:
+        return result
+    for record in backup.store:
+        checker = ExternalConsistencyChecker(record.spec.delta_backup)
+        result[record.spec.object_id] = checker.check(record.history,
+                                                      start, end)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Failure / recovery
+# ---------------------------------------------------------------------------
+
+
+def failover_latency(service: RTPBService) -> Optional[float]:
+    """Crash-to-takeover latency, or None if no failover happened."""
+    crashes = service.trace.select("server_crash", role="primary")
+    failovers = service.trace.select("failover")
+    if not crashes or not failovers:
+        return None
+    return failovers[0].time - crashes[0].time
+
+
+def update_delivery_rate(service: RTPBService) -> float:
+    """Fraction of transmitted updates that *arrived* at the backup.
+
+    Arrivals include stale-rejected duplicates: the slack-factor-2 schedule
+    deliberately re-sends unchanged snapshots, and those arriving duplicates
+    are deliveries, not losses.
+    """
+    sent = len(service.trace.select("update_sent"))
+    if sent == 0:
+        return 1.0
+    arrived = (len(service.trace.select("backup_apply"))
+               + len(service.trace.select("backup_apply_stale")))
+    return min(1.0, arrived / sent)

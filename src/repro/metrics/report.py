@@ -1,0 +1,95 @@
+"""Paper-style tables and series.
+
+Every figure in the evaluation is a family of curves (one per window size or
+write rate) over a swept x-axis.  :class:`Series` holds one such family;
+:class:`Table` renders it as the aligned ASCII table the benchmark harness
+prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A titled, column-aligned ASCII table."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} "
+                f"columns")
+        self.rows.append([_format_cell(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title,
+                 "  ".join(column.ljust(widths[index])
+                           for index, column in enumerate(self.columns)),
+                 "  ".join("-" * width for width in widths)]
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[index])
+                                   for index, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+@dataclass
+class Series:
+    """One figure: y(x) curves keyed by a label (e.g. window size)."""
+
+    name: str
+    x_label: str
+    y_label: str
+    curve_label: str
+    #: curve label -> list of (x, y) points.
+    curves: Dict[str, List[tuple]] = field(default_factory=dict)
+
+    def add_point(self, curve: str, x: float, y: float) -> None:
+        self.curves.setdefault(curve, []).append((x, y))
+
+    def curve(self, label: str) -> List[tuple]:
+        return list(self.curves.get(label, []))
+
+    def to_table(self) -> Table:
+        """Wide-format table: one x column, one y column per curve."""
+        labels = list(self.curves.keys())
+        xs = sorted({x for points in self.curves.values() for x, _y in points})
+        table = Table(
+            title=f"{self.name}  ({self.y_label} vs {self.x_label}, "
+                  f"per {self.curve_label})",
+            columns=[self.x_label] + labels)
+        lookup = {
+            label: {x: y for x, y in points}
+            for label, points in self.curves.items()
+        }
+        for x in xs:
+            cells: List[object] = [x]
+            for label in labels:
+                value = lookup[label].get(x)
+                cells.append("-" if value is None else value)
+            table.add_row(*cells)
+        return table
+
+    def render(self) -> str:
+        return self.to_table().render()
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,80 @@
+"""One-call run summary: every paper metric for a finished deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.service import RTPBService
+from repro.metrics.collectors import (
+    SummaryStats,
+    average_inconsistency_duration,
+    average_max_distance,
+    backup_external_violations,
+    failover_latency,
+    response_time_stats,
+    unanswered_writes,
+    update_delivery_rate,
+)
+from repro.metrics.report import Table
+from repro.units import to_ms
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """The paper's performability metrics plus operational counters."""
+
+    horizon: float
+    warmup: float
+    objects: int
+    response: SummaryStats
+    starved_writes: int
+    avg_max_distance: float
+    avg_inconsistency: float
+    delivery_rate: float
+    backup_violations: int
+    failover: Optional[float]
+
+    def to_table(self) -> Table:
+        table = Table("Run summary", ["metric", "value"])
+        table.add_row("objects admitted", self.objects)
+        table.add_row("responses measured", self.response.count)
+        table.add_row("mean response (ms)", to_ms(self.response.mean)
+                      if self.response.count else "-")
+        table.add_row("p95 response (ms)", to_ms(self.response.p95)
+                      if self.response.count else "-")
+        table.add_row("starved writes", self.starved_writes)
+        table.add_row("avg max P/B distance (ms)",
+                      to_ms(self.avg_max_distance))
+        table.add_row("avg inconsistency episode (ms)",
+                      to_ms(self.avg_inconsistency))
+        table.add_row("update delivery rate", round(self.delivery_rate, 4))
+        table.add_row("delta_B violations at backup", self.backup_violations)
+        table.add_row("failover latency (ms)",
+                      to_ms(self.failover) if self.failover is not None
+                      else "-")
+        return table
+
+    def render(self) -> str:
+        return self.to_table().render()
+
+
+def summarize_run(service: RTPBService, horizon: float,
+                  warmup: float = 2.0) -> RunSummary:
+    """Collect every metric for a finished run in one call."""
+    violations = backup_external_violations(service, warmup,
+                                            max(warmup, horizon - 1.0))
+    return RunSummary(
+        horizon=horizon,
+        warmup=warmup,
+        objects=len(service.registered_specs()),
+        response=response_time_stats(service, start=warmup),
+        starved_writes=unanswered_writes(service),
+        avg_max_distance=average_max_distance(service, horizon, warmup),
+        avg_inconsistency=average_inconsistency_duration(service, horizon,
+                                                         warmup),
+        delivery_rate=update_delivery_rate(service),
+        backup_violations=sum(len(per_object)
+                              for per_object in violations.values()),
+        failover=failover_latency(service),
+    )

@@ -1,0 +1,32 @@
+"""Concrete network protocols under the x-kernel framework.
+
+Models the paper's LAN environment: a shared fabric with a bounded
+communication delay ℓ and configurable message loss (Section 4's assumptions),
+a minimal IP-like network layer for host addressing, and UDP — the paper's
+transport — with ports and demultiplexing.
+"""
+
+from repro.net.link import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    LinkPort,
+    LossModel,
+    NetworkFabric,
+    NoLoss,
+)
+from repro.net.ip import Host, IPProtocol
+from repro.net.udp import UDPProtocol
+from repro.net.transport import UdpEndpoint
+
+__all__ = [
+    "NetworkFabric",
+    "LinkPort",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "Host",
+    "IPProtocol",
+    "UDPProtocol",
+    "UdpEndpoint",
+]

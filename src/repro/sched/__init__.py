@@ -1,0 +1,73 @@
+"""Real-time scheduling substrate.
+
+Implements the scheduling theory the paper builds on:
+
+- the periodic task model (:mod:`repro.sched.task`),
+- a preemptive processor simulation (:mod:`repro.sched.processor`) that
+  produces real execution traces — and therefore real *phase variance* — under
+  a pluggable scheduling policy,
+- **EDF** (:mod:`repro.sched.edf`) and **Rate Monotonic**
+  (:mod:`repro.sched.rm`) priority-driven policies [Liu & Layland 1973],
+- **Distance-Constrained Scheduling** (:mod:`repro.sched.dcs`) after
+  Han & Lin 1992: the pinwheel specialisation transform plus a table-driven
+  cyclic executive whose jobs complete at *exactly* periodic instants,
+  realising the paper's Theorem 3 (zero phase variance),
+- schedulability analysis (:mod:`repro.sched.analysis`), and
+- phase-variance measurement and the paper's theoretical bounds
+  (:mod:`repro.sched.phase_variance`).
+"""
+
+from repro.sched.aperiodic import DeferrableServer
+from repro.sched.analysis import (
+    dcs_feasible_sr,
+    edf_schedulable,
+    hyperperiod,
+    rm_response_time,
+    rm_schedulable_exact,
+    rm_utilization_test,
+    utilization,
+)
+from repro.sched.dcs import (
+    CyclicExecutive,
+    DistanceConstrainedScheduler,
+    specialize_sa,
+    specialize_sr,
+    specialize_sx,
+)
+from repro.sched.edf import EDFScheduler
+from repro.sched.phase_variance import (
+    PhaseVarianceBounds,
+    compressed_period,
+    kth_phase_variances,
+    phase_variance,
+)
+from repro.sched.processor import Processor
+from repro.sched.rm import FIFOScheduler, RateMonotonicScheduler
+from repro.sched.task import Job, Task, TaskSet
+
+__all__ = [
+    "Task",
+    "Job",
+    "TaskSet",
+    "Processor",
+    "DeferrableServer",
+    "EDFScheduler",
+    "RateMonotonicScheduler",
+    "FIFOScheduler",
+    "DistanceConstrainedScheduler",
+    "CyclicExecutive",
+    "specialize_sa",
+    "specialize_sx",
+    "specialize_sr",
+    "utilization",
+    "hyperperiod",
+    "edf_schedulable",
+    "rm_utilization_test",
+    "rm_response_time",
+    "rm_schedulable_exact",
+    "dcs_feasible_sr",
+    "phase_variance",
+    "kth_phase_variances",
+    "PhaseVarianceBounds",
+    "compressed_period",
+]

@@ -1,0 +1,99 @@
+"""Aperiodic servers: bandwidth-preserving service for non-periodic work.
+
+The paper's primary handles aperiodic client requests alongside periodic
+update tasks.  Running requests in the background band (the default) keeps
+them from ever disturbing the periodic tasks, but gives them no latency
+guarantee; a **deferrable server** [Strosnider, Lehoczky & Sha] reserves a
+periodic budget for aperiodic work: up to ``budget`` seconds of requests are
+served *at real-time priority* in every ``period``, and the budget
+replenishes at period boundaries.  To the schedulability analysis the server
+just looks like one more periodic task (``budget``, ``period``).
+
+The implementation releases whole jobs against the remaining budget (a job
+is admitted into the current period only if its full cost fits), which is
+exact for the RPC-sized jobs the replication service submits — individual
+costs are far below any sensible budget.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.errors import InvalidTaskError
+from repro.sched.processor import Processor
+from repro.sched.task import BAND_REALTIME, Job
+from repro.sim.engine import Simulator
+
+
+class DeferrableServer:
+    """A (budget, period) reservation for aperiodic jobs."""
+
+    def __init__(self, sim: Simulator, processor: Processor, budget: float,
+                 period: float, name: str = "ds") -> None:
+        if budget <= 0 or period <= 0 or budget > period:
+            raise InvalidTaskError(
+                f"{name}: need 0 < budget <= period, got "
+                f"budget={budget}, period={period}")
+        self.sim = sim
+        self.processor = processor
+        self.budget = budget
+        self.period = period
+        self.name = name
+        self.jobs_served = 0
+        self.jobs_deferred = 0
+        self._budget_left = budget
+        self._queue: Deque[Tuple[str, float, Optional[Callable[[Job], None]]]] = deque()
+        self._running = True
+        sim.schedule(period, self._replenish)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def utilization(self) -> float:
+        """The reservation's demand, ``budget / period`` (for admission)."""
+        return self.budget / self.period
+
+    @property
+    def backlog(self) -> int:
+        """Jobs waiting for budget."""
+        return len(self._queue)
+
+    def submit(self, name: str, cost: float,
+               action: Optional[Callable[[Job], None]] = None) -> None:
+        """Queue one aperiodic job; it runs at real-time priority as soon
+        as budget allows (immediately, if any is left — the *deferrable*
+        property: unused budget is held, not discarded)."""
+        if cost <= 0:
+            raise InvalidTaskError(f"{self.name}: job cost must be > 0")
+        if cost > self.budget:
+            raise InvalidTaskError(
+                f"{self.name}: job cost {cost} exceeds the whole budget "
+                f"{self.budget}")
+        self._queue.append((name, cost, action))
+        self._drain()
+
+    def stop(self) -> None:
+        self._running = False
+        self._queue.clear()
+
+    # ------------------------------------------------------------------
+
+    def _drain(self) -> None:
+        while self._queue and self._queue[0][1] <= self._budget_left + 1e-12:
+            name, cost, action = self._queue.popleft()
+            self._budget_left -= cost
+            self.jobs_served += 1
+            self.processor.submit(
+                name=f"{self.name}:{name}", cost=cost,
+                deadline=self.sim.now + self.period,
+                band=BAND_REALTIME, action=action)
+        if self._queue:
+            self.jobs_deferred += len(self._queue)
+
+    def _replenish(self) -> None:
+        if not self._running:
+            return
+        self._budget_left = self.budget
+        self._drain()
+        self.sim.schedule(self.period, self._replenish)

@@ -1,0 +1,343 @@
+"""Distance-Constrained Scheduling (Han & Lin 1992) — the paper's route to
+zero phase variance (Theorem 3).
+
+A distance-constrained task must have consecutive *finish times* no more than
+``c_i`` apart.  Han & Lin solve this via the **pinwheel** problem: transform
+("specialise") the distance constraints into harmonic values — each divides
+every larger one — then lay the tasks out in a fixed cyclic timetable.  In the
+timetable every job of a task starts at an exact offset ``o_i + k·c'_i`` and
+runs non-preemptively for ``e_i``, so finish times are *exactly* periodic:
+the k-th phase variance with respect to the effective period ``c'_i`` is zero
+for every k.
+
+Specialisation schemes (naming follows Han & Lin):
+
+- ``Sa`` — collapse every distance to the smallest one.  Trivially harmonic,
+  very pessimistic.
+- ``Sx`` — round each distance down to ``base · 2^⌊log2(c_i/base)⌋`` with
+  ``base = min(c)``.  Density inflates by at most 2×.
+- ``Sr`` — like ``Sx`` but searches over candidate bases (one derived from
+  each distinct distance) and keeps the feasible transform of least density.
+  Han & Lin prove ``Sr`` succeeds whenever ``Σ e_i/c_i ≤ n(2^{1/n}-1)`` — the
+  paper's Inequality 2.2.
+
+Note on Theorem 3's statement: the paper substitutes periods for distance
+constraints and concludes ``v_i = 0``.  After specialisation the task
+actually executes with the (possibly smaller) harmonic period ``c'_i ≤ p_i``;
+its finish times are exactly ``c'_i`` apart, so its phase variance *relative
+to the effective period it is granted* is zero, and every temporal-consistency
+condition satisfied by ``p_i`` is also satisfied by ``c'_i``.  We expose both
+the effective periods and the zero variance so callers can reason precisely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidTaskError, NotSchedulableError
+from repro.sched.analysis import dcs_feasible_sr
+from repro.sched.task import Task
+from repro.sim.engine import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Specialisation transforms
+# ---------------------------------------------------------------------------
+
+
+def specialize_sa(distances: Sequence[float]) -> List[float]:
+    """``Sa``: every distance becomes the minimum distance."""
+    _validate_distances(distances)
+    smallest = min(distances)
+    return [smallest for _ in distances]
+
+
+def specialize_sx(distances: Sequence[float],
+                  base: Optional[float] = None) -> List[float]:
+    """``Sx``: round each distance down to ``base · 2^⌊log2(c/base)⌋``.
+
+    With the default ``base = min(distances)`` the result is harmonic (every
+    value is the base times a power of two) and each specialised distance is
+    within a factor 2 of the original.
+    """
+    _validate_distances(distances)
+    if base is None:
+        base = min(distances)
+    if base <= 0:
+        raise InvalidTaskError(f"base must be > 0, got {base}")
+    specialised = []
+    for distance in distances:
+        if distance < base - 1e-12:
+            raise InvalidTaskError(
+                f"distance {distance} smaller than base {base}")
+        exponent = math.floor(math.log2(distance / base) + 1e-9)
+        specialised.append(base * (2.0 ** exponent))
+    return specialised
+
+
+def specialize_sr(distances: Sequence[float],
+                  execution_times: Sequence[float]) -> Tuple[List[float], float]:
+    """``Sr``: search candidate bases, keep the least-density feasible one.
+
+    Candidate bases are ``c_i / 2^⌈log2(c_i / c_min)⌉`` for each distance
+    ``c_i`` (each lies in ``(c_min/2, c_min]``), plus ``c_min`` itself.
+    Returns ``(specialised distances, resulting density)``.  Raises
+    :class:`~repro.errors.NotSchedulableError` when no candidate keeps the
+    density at or below 1.
+    """
+    _validate_distances(distances)
+    if len(execution_times) != len(distances):
+        raise InvalidTaskError("distances and execution_times differ in length")
+    smallest = min(distances)
+    candidates = {smallest}
+    for distance in distances:
+        exponent = math.ceil(math.log2(distance / smallest) - 1e-9)
+        candidates.add(distance / (2.0 ** exponent))
+    best: Optional[Tuple[List[float], float]] = None
+    for base in sorted(candidates, reverse=True):
+        specialised = specialize_sx(distances, base=base)
+        density = sum(e / c for e, c in zip(execution_times, specialised))
+        if density <= 1.0 + 1e-12 and (best is None or density < best[1]):
+            best = (specialised, density)
+    if best is None:
+        raise NotSchedulableError(
+            "Sr specialisation failed: no candidate base keeps density <= 1 "
+            f"(distances={list(distances)}, e={list(execution_times)})")
+    return best
+
+
+def _validate_distances(distances: Sequence[float]) -> None:
+    if not distances:
+        raise InvalidTaskError("empty distance list")
+    if any(distance <= 0 for distance in distances):
+        raise InvalidTaskError(f"distances must be > 0: {list(distances)}")
+
+
+# ---------------------------------------------------------------------------
+# Timetable construction
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TimetableEntry:
+    """One task's slot assignment in the cyclic schedule.
+
+    ``fragments`` are (start, length) pieces within the task's period frame;
+    a job may be split across pieces (pinwheel schedules are preemptive
+    within the frame), but every repetition uses the *same* pieces, so the
+    finish instant — the end of the last fragment — is exactly periodic.
+    """
+
+    name: str
+    fragments: Tuple[Tuple[float, float], ...]
+    wcet: float
+    period: float  # the specialised (harmonic) period c'_i
+    action: Optional[Callable[["CyclicExecutive", str, int], None]] = None
+
+    @property
+    def offset(self) -> float:
+        """Start of the first fragment (where the job begins each period)."""
+        return self.fragments[0][0]
+
+    @property
+    def finish_offset(self) -> float:
+        """End of the last fragment (the exactly-periodic finish instant)."""
+        last_start, last_length = self.fragments[-1]
+        return last_start + last_length
+
+
+def build_timetable(names: Sequence[str], wcets: Sequence[float],
+                    harmonic_periods: Sequence[float]) -> List[TimetableEntry]:
+    """Assign fixed execution fragments so every repetition is collision-free.
+
+    Tasks are placed in ascending period order, each taking the earliest
+    free capacity inside its period frame (splitting across gaps when
+    needed).  Because the periods are harmonic, the busy pattern of
+    already-placed tasks repeats exactly within any window equal to the next
+    task's period, so folding occupancy into ``[0, c'_i)`` is exact — and
+    total free capacity in the frame is ``c'_i (1 - density so far)``, so
+    placement succeeds whenever the specialised density is at most 1.
+    """
+    if not (len(names) == len(wcets) == len(harmonic_periods)):
+        raise InvalidTaskError("timetable inputs differ in length")
+    order = sorted(range(len(names)),
+                   key=lambda i: (harmonic_periods[i], names[i]))
+    placed: List[TimetableEntry] = []
+    for i in order:
+        period = harmonic_periods[i]
+        wcet = wcets[i]
+        if wcet > period + 1e-12:
+            raise NotSchedulableError(
+                f"{names[i]}: wcet {wcet} exceeds specialised period {period}")
+        busy = _fold_busy_intervals(placed, period)
+        fragments = _earliest_fragments(busy, wcet, period)
+        if fragments is None:
+            raise NotSchedulableError(
+                f"no collision-free placement for {names[i]} "
+                f"(period {period}, wcet {wcet})")
+        placed.append(TimetableEntry(names[i], tuple(fragments), wcet, period))
+    return placed
+
+
+def _fold_busy_intervals(placed: Sequence[TimetableEntry],
+                         window: float) -> List[Tuple[float, float]]:
+    """Busy intervals of already-placed tasks folded into ``[0, window)``."""
+    intervals: List[Tuple[float, float]] = []
+    for entry in placed:
+        repetitions = int(round(window / entry.period))
+        for k in range(repetitions):
+            for start, length in entry.fragments:
+                begin = start + k * entry.period
+                intervals.append((begin, begin + length))
+    intervals.sort()
+    merged: List[Tuple[float, float]] = []
+    for start, end in intervals:
+        if merged and start <= merged[-1][1] + 1e-12:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _earliest_fragments(busy: Sequence[Tuple[float, float]], wcet: float,
+                        period: float
+                        ) -> Optional[List[Tuple[float, float]]]:
+    """Earliest free capacity totalling ``wcet`` within ``[0, period)``."""
+    gaps: List[Tuple[float, float]] = []
+    cursor = 0.0
+    for start, end in busy:
+        if start > cursor + 1e-12:
+            gaps.append((cursor, min(start, period) - cursor))
+        cursor = max(cursor, end)
+        if cursor >= period:
+            break
+    if cursor < period - 1e-12:
+        gaps.append((cursor, period - cursor))
+    fragments: List[Tuple[float, float]] = []
+    remaining = wcet
+    for start, length in gaps:
+        take = min(length, remaining)
+        if take > 1e-12:
+            fragments.append((start, take))
+            remaining -= take
+        if remaining <= 1e-12:
+            return fragments
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+class CyclicExecutive:
+    """Table-driven executor: jobs finish at exactly periodic instants.
+
+    Each timetable entry's job k starts at ``offset + k·period`` and finishes
+    at ``offset + k·period + wcet``, without preemption.  Finish times are
+    recorded per task (mirroring
+    :attr:`repro.sched.processor.Processor.finish_times`), and each entry's
+    ``action`` fires at the finish instant.
+    """
+
+    def __init__(self, sim: Simulator, timetable: Sequence[TimetableEntry],
+                 name: str = "dcs") -> None:
+        self.sim = sim
+        self.name = name
+        self.timetable = list(timetable)
+        self.finish_times: Dict[str, List[float]] = {
+            entry.name: [] for entry in timetable}
+        self._running = False
+
+    def start(self) -> None:
+        """Begin executing the table at the current virtual time."""
+        self._running = True
+        for entry in self.timetable:
+            self.sim.schedule(entry.finish_offset, self._finish, entry, 0)
+
+    def stop(self) -> None:
+        """Stop scheduling further jobs (in-flight finish events are dropped)."""
+        self._running = False
+
+    def _finish(self, entry: TimetableEntry, index: int) -> None:
+        if not self._running:
+            return
+        self.finish_times[entry.name].append(self.sim.now)
+        self.sim.trace.record("job_finish", cpu=self.name, job=entry.name,
+                              index=index, finish=self.sim.now,
+                              release=self.sim.now - entry.finish_offset
+                              + entry.offset,
+                              response=entry.finish_offset - entry.offset,
+                              band=0)
+        if entry.action is not None:
+            entry.action(self, entry.name, index)
+        self.sim.schedule(entry.period, self._finish, entry, index + 1)
+
+
+class DistanceConstrainedScheduler:
+    """Facade tying specialisation + timetable + executive together.
+
+    Given tasks whose *periods* act as distance constraints (the substitution
+    Theorem 3 makes), this checks Inequality 2.2, specialises with the chosen
+    scheme, builds the collision-free timetable, and can start a
+    :class:`CyclicExecutive` on a simulator.
+    """
+
+    name = "dcs"
+
+    def __init__(self, tasks: Sequence[Task], scheme: str = "sr") -> None:
+        if scheme not in ("sa", "sx", "sr"):
+            raise InvalidTaskError(f"unknown DCS scheme {scheme!r}")
+        self.tasks = list(tasks)
+        self.scheme = scheme
+        names = [task.name for task in self.tasks]
+        wcets = [task.wcet for task in self.tasks]
+        periods = [task.period for task in self.tasks]
+        self.feasible_by_condition = dcs_feasible_sr(wcets, periods)
+        if scheme == "sa":
+            specialised = specialize_sa(periods)
+        elif scheme == "sx":
+            specialised = specialize_sx(periods)
+        else:
+            specialised, _density = specialize_sr(periods, wcets)
+        density = sum(e / c for e, c in zip(wcets, specialised))
+        if density > 1.0 + 1e-12:
+            raise NotSchedulableError(
+                f"DCS {scheme}: specialised density {density:.4f} > 1")
+        #: Map task name -> effective (specialised, harmonic) period c'_i.
+        self.effective_periods: Dict[str, float] = dict(zip(names, specialised))
+        actions = {task.name: task.action for task in self.tasks}
+        table = build_timetable(names, wcets, specialised)
+        self.timetable = [
+            TimetableEntry(entry.name, entry.fragments, entry.wcet,
+                           entry.period,
+                           action=_wrap_action(actions[entry.name]))
+            for entry in table
+        ]
+
+    def start(self, sim: Simulator, name: str = "dcs") -> CyclicExecutive:
+        executive = CyclicExecutive(sim, self.timetable, name=name)
+        executive.start()
+        return executive
+
+
+def _wrap_action(task_action: Optional[Callable]) -> Optional[Callable]:
+    """Adapt a Task.action(job) callback to the executive's signature."""
+    if task_action is None:
+        return None
+
+    def action(executive: CyclicExecutive, name: str, index: int) -> None:
+        task_action(_CompletedSlot(name, index, executive.sim.now))
+
+    return action
+
+
+@dataclass(frozen=True)
+class _CompletedSlot:
+    """Duck-typed stand-in for a completed Job handed to task actions."""
+
+    name: str
+    index: int
+    finish_time: float

@@ -1,0 +1,104 @@
+"""Phase variance: measurement and the paper's theoretical bounds.
+
+Definition 1 (paper): the k-th phase variance of a task is
+``v_i^k = |(I_k - I_{k-1}) - p_i|`` where ``I_k`` is the finish instant of the
+k-th invocation.  Definition 2: the phase variance is ``v_i = max_k v_i^k``.
+
+Inequality 2.1 bounds it generically by ``p_i - e_i`` (two consecutive
+finishes of a deadline-meeting periodic task are between ``e_i`` and
+``2p_i - e_i`` apart).  Theorem 2 tightens the bound under EDF and RM when the
+utilisation ``x`` of the task set is known, and Theorem 3 achieves exactly
+zero under distance-constrained scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import InvalidTaskError
+from repro.units import utilization_bound_rm
+
+
+def kth_phase_variances(finish_times: Sequence[float],
+                        period: float) -> List[float]:
+    """``[v^1, v^2, ...]`` from consecutive finish instants (Definition 1)."""
+    if period <= 0:
+        raise InvalidTaskError(f"period must be > 0, got {period}")
+    return [
+        abs((later - earlier) - period)
+        for earlier, later in zip(finish_times, finish_times[1:])
+    ]
+
+
+def phase_variance(finish_times: Sequence[float], period: float) -> float:
+    """``v_i = max_k v_i^k`` (Definition 2); 0.0 with fewer than two finishes."""
+    variances = kth_phase_variances(finish_times, period)
+    if not variances:
+        return 0.0
+    return max(variances)
+
+
+def compressed_period(period: float, utilization: float) -> float:
+    """The period ``x · p_i`` used by Theorem 2's constructive schedule.
+
+    The proof shrinks every period by the utilisation factor ``x``; the
+    resulting task set has utilisation 1 and remains EDF-schedulable, and the
+    original-period phase variance of the compressed schedule is bounded by
+    ``x·p_i - e_i``.
+    """
+    if not 0 < utilization <= 1:
+        raise InvalidTaskError(
+            f"utilisation must be in (0, 1], got {utilization}")
+    return period * utilization
+
+
+class PhaseVarianceBounds:
+    """The paper's phase-variance bounds as pure functions.
+
+    All bounds are clamped at zero: phase variance is non-negative by
+    definition, so a formula going negative just means "zero is the best
+    possible claim" (it happens when ``e_i`` is large relative to the
+    scaled period).
+    """
+
+    @staticmethod
+    def generic(period: float, wcet: float) -> float:
+        """Inequality 2.1: ``v_i ≤ p_i - e_i`` for any deadline-meeting schedule."""
+        _check(period, wcet)
+        return max(0.0, period - wcet)
+
+    @staticmethod
+    def edf(period: float, wcet: float, utilization: float) -> float:
+        """Theorem 2 (EDF): ``v_i ≤ x·p_i - e_i`` is satisfiable."""
+        _check(period, wcet)
+        _check_utilization(utilization)
+        return max(0.0, utilization * period - wcet)
+
+    @staticmethod
+    def rm(period: float, wcet: float, utilization: float, n_tasks: int) -> float:
+        """Theorem 2 (RM): ``v_i ≤ x·p_i / (n(2^{1/n}-1)) - e_i`` is satisfiable."""
+        _check(period, wcet)
+        _check_utilization(utilization)
+        if n_tasks <= 0:
+            raise InvalidTaskError(f"n_tasks must be > 0, got {n_tasks}")
+        return max(0.0,
+                   utilization * period / utilization_bound_rm(n_tasks) - wcet)
+
+    @staticmethod
+    def dcs() -> float:
+        """Theorem 3: ``v_i = 0`` under scheduler Sr when Inequality 2.2 holds."""
+        return 0.0
+
+
+def _check(period: float, wcet: float) -> None:
+    if period <= 0:
+        raise InvalidTaskError(f"period must be > 0, got {period}")
+    if wcet <= 0 or wcet > period:
+        raise InvalidTaskError(
+            f"wcet must be in (0, period], got e={wcet}, p={period}")
+
+
+def _check_utilization(utilization: float) -> None:
+    if not 0 < utilization <= 1 + 1e-12:
+        raise InvalidTaskError(
+            f"utilisation must be in (0, 1], got {utilization}")

@@ -1,0 +1,39 @@
+"""Rate Monotonic and FIFO scheduling policies.
+
+Rate Monotonic [Liu & Layland 1973] is the fixed-priority policy the paper's
+admission controller assumes: a job's priority is its task's rate (shorter
+period = higher priority).  Aperiodic jobs (which have no period) fall back
+to deadline order inside their band, which in practice only orders background
+client requests among themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.sched.task import Job
+
+
+class RateMonotonicScheduler:
+    """Preemptive fixed-priority policy: shorter period runs first."""
+
+    name = "rm"
+    preemptive = True
+
+    def key(self, job: Job) -> Tuple:
+        period = job.task.period if job.task is not None else float("inf")
+        return (job.band, period, job.release_time, job.jid)
+
+
+class FIFOScheduler:
+    """Non-preemptive run-to-completion in release order.
+
+    Used as a plain best-effort baseline and for background-only processors
+    (e.g. a backup host that only applies updates).
+    """
+
+    name = "fifo"
+    preemptive = False
+
+    def key(self, job: Job) -> Tuple:
+        return (job.band, job.release_time, job.jid)

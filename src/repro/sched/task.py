@@ -1,0 +1,209 @@
+"""Periodic task and job model.
+
+Follows the paper's notation: a task updating object *i* has period ``p_i``
+and execution time ``e_i``; its k-th invocation finishes at instant ``I_k``.
+Jobs carry their release/start/finish instants so phase variance can be
+measured from traces (Definition 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidTaskError
+
+#: Priority band for real-time (periodic, guaranteed) work.
+BAND_REALTIME = 0
+#: Priority band for background (aperiodic, best-effort) work.  Background
+#: jobs never preempt or delay real-time jobs.
+BAND_BACKGROUND = 1
+
+
+@dataclass
+class Task:
+    """A periodic real-time task.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a :class:`TaskSet` / processor.
+    period:
+        ``p_i`` — separation between consecutive releases, seconds.
+    wcet:
+        ``e_i`` — execution demand of each job, seconds.
+    phase:
+        Release time of the first job (default 0).
+    deadline:
+        Relative deadline; defaults to the period (implicit deadlines, as in
+        Liu & Layland and throughout the paper).
+    release_jitter:
+        Upper bound on a uniformly random per-job release delay.  Zero by
+        default; used to model clients whose update instants wobble.
+    replace_pending:
+        When True, a new release *replaces* a previous job of this task that
+        has not started running yet.  Update-transmission tasks use this:
+        sending a superseded snapshot is pointless, and under overload it
+        keeps the backlog from growing without bound.
+    action:
+        Callback invoked (with the completed :class:`Job`) when a job
+        finishes — e.g. "transmit the update message".
+    """
+
+    name: str
+    period: float
+    wcet: float
+    phase: float = 0.0
+    deadline: Optional[float] = None
+    release_jitter: float = 0.0
+    replace_pending: bool = False
+    action: Optional[Callable[["Job"], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise InvalidTaskError(f"{self.name}: period must be > 0, got {self.period}")
+        if self.wcet <= 0:
+            raise InvalidTaskError(f"{self.name}: wcet must be > 0, got {self.wcet}")
+        if self.wcet > self.period:
+            raise InvalidTaskError(
+                f"{self.name}: wcet {self.wcet} exceeds period {self.period}")
+        if self.deadline is None:
+            self.deadline = self.period
+        if self.deadline <= 0:
+            raise InvalidTaskError(f"{self.name}: deadline must be > 0")
+        if self.phase < 0:
+            raise InvalidTaskError(f"{self.name}: phase must be >= 0")
+        if self.release_jitter < 0:
+            raise InvalidTaskError(f"{self.name}: release_jitter must be >= 0")
+
+    @property
+    def utilization(self) -> float:
+        """``e_i / p_i`` — fraction of the CPU this task demands."""
+        return self.wcet / self.period
+
+    def scaled(self, factor: float, name_suffix: str = "") -> "Task":
+        """Copy of this task with its period multiplied by ``factor``.
+
+        Theorem 2's proof compresses every period by the utilisation factor
+        ``x``; this helper builds that transformed task.
+        """
+        if factor <= 0:
+            raise InvalidTaskError(f"scale factor must be > 0, got {factor}")
+        return Task(
+            name=self.name + name_suffix,
+            period=self.period * factor,
+            wcet=self.wcet,
+            phase=self.phase,
+            deadline=None,
+            release_jitter=self.release_jitter,
+            replace_pending=self.replace_pending,
+            action=self.action,
+        )
+
+
+class Job:
+    """One invocation of a task (or a one-shot aperiodic request)."""
+
+    _ids = itertools.count()
+
+    __slots__ = (
+        "jid", "task", "name", "index", "release_time", "absolute_deadline",
+        "cost", "remaining", "band", "start_time", "finish_time", "action",
+        "preemptions",
+    )
+
+    def __init__(self, name: str, release_time: float, cost: float,
+                 absolute_deadline: float = float("inf"),
+                 task: Optional[Task] = None, index: int = 0,
+                 band: int = BAND_REALTIME,
+                 action: Optional[Callable[["Job"], None]] = None) -> None:
+        self.jid = next(Job._ids)
+        self.task = task
+        self.name = name
+        self.index = index
+        self.release_time = release_time
+        self.absolute_deadline = absolute_deadline
+        self.cost = cost
+        self.remaining = cost
+        self.band = band
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.action = action
+        self.preemptions = 0
+
+    @property
+    def started(self) -> bool:
+        return self.start_time is not None
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Finish minus release, once finished."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.release_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Job {self.name}#{self.index} rel={self.release_time:.6f} "
+                f"rem={self.remaining:.6f}>")
+
+
+class TaskSet:
+    """An ordered collection of tasks with unique names."""
+
+    def __init__(self, tasks: Optional[List[Task]] = None) -> None:
+        self._tasks: List[Task] = []
+        self._by_name: Dict[str, Task] = {}
+        for task in tasks or []:
+            self.add(task)
+
+    def add(self, task: Task) -> None:
+        if task.name in self._by_name:
+            raise InvalidTaskError(f"duplicate task name {task.name!r}")
+        self._tasks.append(task)
+        self._by_name[task.name] = task
+
+    def remove(self, name: str) -> Task:
+        task = self._by_name.pop(name, None)
+        if task is None:
+            raise InvalidTaskError(f"no task named {name!r}")
+        self._tasks.remove(task)
+        return task
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Task:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise InvalidTaskError(f"no task named {name!r}") from None
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def utilization(self) -> float:
+        """Total utilisation ``Σ e_i / p_i`` (the paper's ``x``)."""
+        return sum(task.utilization for task in self._tasks)
+
+    def periods(self) -> List[float]:
+        return [task.period for task in self._tasks]
+
+    def wcets(self) -> List[float]:
+        return [task.wcet for task in self._tasks]
+
+    def sorted_by_period(self) -> List[Task]:
+        """Tasks by ascending period (rate-monotonic priority order)."""
+        return sorted(self._tasks, key=lambda task: (task.period, task.name))
+
+    def scaled(self, factor: float) -> "TaskSet":
+        """Task set with every period multiplied by ``factor`` (Theorem 2)."""
+        return TaskSet([task.scaled(factor) for task in self._tasks])

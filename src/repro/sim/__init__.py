@@ -1,0 +1,38 @@
+"""Discrete-event simulation kernel.
+
+This subpackage replaces the paper's MK 7.2 microkernel clock with a
+deterministic virtual clock.  Everything in the reproduction — CPU scheduling,
+network delivery, client updates, failure detection — advances on this one
+timeline, so experiments are exactly repeatable (a given seed always yields
+the same trace) and free of interpreter jitter.
+
+Public surface:
+
+- :class:`~repro.sim.engine.Simulator` — event loop and virtual clock.
+- :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.EventQueue` —
+  the scheduled-callback layer.
+- :class:`~repro.sim.process.Process`, :class:`~repro.sim.process.Timeout`,
+  :class:`~repro.sim.process.Signal` — generator-based cooperative processes
+  (the moral equivalent of the paper's kernel threads).
+- :class:`~repro.sim.randomness.RandomStreams` — named, independently seeded
+  random substreams.
+- :class:`~repro.sim.trace.Tracer` — structured event tracing.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import Process, Signal, Timeout
+from repro.sim.randomness import RandomStreams
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "Process",
+    "Signal",
+    "Timeout",
+    "RandomStreams",
+    "Tracer",
+    "TraceRecord",
+]

@@ -1,0 +1,147 @@
+"""The simulation engine: virtual clock plus event loop.
+
+A :class:`Simulator` owns one :class:`~repro.sim.events.EventQueue`, one
+:class:`~repro.sim.randomness.RandomStreams`, and one
+:class:`~repro.sim.trace.Tracer`.  All model components receive the simulator
+by reference and schedule work on it; nothing in the library reads the wall
+clock.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import SimStoppedError, SimTimeError
+from repro.sim.events import Event, EventQueue
+from repro.sim.randomness import RandomStreams
+from repro.sim.trace import Tracer
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all random substreams.  Two simulators built with the
+        same seed and the same model produce byte-identical traces.
+
+    Example
+    -------
+    >>> sim = Simulator(seed=1)
+    >>> fired = []
+    >>> _ = sim.schedule(2.5, fired.append, "hello")
+    >>> sim.run(until=10.0)
+    >>> (sim.now, fired)
+    (10.0, ['hello'])
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now: float = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.random = RandomStreams(seed)
+        self.trace = Tracer(clock=lambda: self._now)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0 or math.isnan(delay):
+            raise SimTimeError(f"negative or NaN delay: {delay!r}")
+        return self._queue.push(self._now + delay, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self._now or math.isnan(time):
+            raise SimTimeError(
+                f"cannot schedule at {time!r}: current time is {self._now!r}")
+        return self._queue.push(time, callback, args)
+
+    def spawn(self, generator: Generator, name: str = "") -> "Process":
+        """Start a generator-based :class:`~repro.sim.process.Process` now."""
+        from repro.sim.process import Process  # local import: avoid cycle
+
+        return Process(self, generator, name=name)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single earliest pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        self._now = event.time
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run events until ``until`` (inclusive), exhaustion, or :meth:`stop`.
+
+        When ``until`` is given the clock always advances *to* ``until`` even
+        if the queue drains earlier, so periodic measurements that key off
+        ``sim.now`` see the full horizon.  Returns the number of events run.
+
+        ``max_events`` is a safety valve for tests exercising potentially
+        unbounded models; exceeding it raises
+        :class:`~repro.errors.SimTimeError`.
+        """
+        if self._running:
+            raise SimStoppedError("run() called re-entrantly from a callback")
+        if until is not None and until < self._now:
+            raise SimTimeError(
+                f"cannot run until {until!r}: current time is {self._now!r}")
+        self._running = True
+        self._stopped = False
+        count = 0
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if self._stopped:
+                    break
+                self.step()
+                count += 1
+                if max_events is not None and count > max_events:
+                    raise SimTimeError(
+                        f"exceeded max_events={max_events} (runaway model?)")
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+        return count
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the executing event returns."""
+        self._stopped = True
+
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6f} pending={len(self._queue)}>"

@@ -1,0 +1,96 @@
+"""Scheduled events and the time-ordered event queue.
+
+The queue is a binary heap keyed on ``(time, sequence)``.  The sequence number
+makes ordering *total* and *deterministic*: two events scheduled for the same
+instant always fire in scheduling order, so simulations are reproducible
+independent of hash seeds or dict ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimTimeError
+
+
+class Event:
+    """A callback scheduled to run at a fixed virtual time.
+
+    Events are created through :meth:`repro.sim.engine.Simulator.schedule_at`
+    (or ``schedule``); user code normally only holds them to call
+    :meth:`cancel`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., Any], args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Cancellation is lazy: the entry stays in the heap and is discarded
+        when popped, which keeps cancel O(1).
+        """
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time:.6f} seq={self.seq} {name}{state}>"
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(self, time: float, callback: Callable[..., Any],
+             args: tuple = ()) -> Event:
+        """Schedule ``callback(*args)`` at virtual ``time`` and return the event."""
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next live event, or ``None`` when empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises :class:`~repro.errors.SimTimeError` when the queue is empty.
+        """
+        self._discard_cancelled()
+        if not self._heap:
+            raise SimTimeError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,243 @@
+"""Generator-based cooperative processes.
+
+The paper's servers are threads on MK 7.2 ("ping thread", update tasks, the
+client application).  Here each such thread is a Python generator driven by
+the simulator: the generator ``yield``\\ s what it is waiting for and the
+engine resumes it when the wait completes.
+
+Yieldable values
+----------------
+- :class:`Timeout` — resume after a virtual-time delay.
+- :class:`Signal` — resume when another component triggers the signal; the
+  trigger value becomes the value of the ``yield`` expression.
+- :class:`Process` — resume when the other process finishes; its return value
+  becomes the value of the ``yield`` expression (exceptions propagate).
+
+A process can be :meth:`interrupted <Process.interrupt>`; the pending wait is
+cancelled and :class:`~repro.errors.ProcessInterrupt` is raised inside the
+generator, which may catch it (e.g. a ping loop being told its peer died).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import ProcessInterrupt, SimulationError
+
+# Resume callbacks receive (value, exception); exactly one is non-None unless
+# the wait completed normally with value None.
+ResumeFn = Callable[[Any, Optional[BaseException]], None]
+
+
+class Timeout:
+    """Yieldable: wait ``delay`` seconds of virtual time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay!r}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay!r})"
+
+
+class Signal:
+    """A one-shot broadcast condition.
+
+    Processes wait on a signal by yielding it; :meth:`trigger` wakes all of
+    them with a value, :meth:`fail` wakes them with an exception.  Triggering
+    twice is an error (one-shot semantics keep races visible).
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self._sim = sim
+        self.name = name
+        self._waiters: List[ResumeFn] = []
+        self._fired = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+
+    @property
+    def fired(self) -> bool:
+        """Whether the signal already triggered (or failed)."""
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        """The trigger value (meaningful only once :attr:`fired`)."""
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, if :meth:`fail` was used."""
+        return self._exception
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the signal, waking all waiters with ``value``."""
+        self._fire(value, None)
+
+    def fail(self, exception: BaseException) -> None:
+        """Fire the signal, raising ``exception`` inside all waiters."""
+        self._fire(None, exception)
+
+    def _fire(self, value: Any, exception: Optional[BaseException]) -> None:
+        if self._fired:
+            raise SimulationError(f"signal {self.name!r} triggered twice")
+        self._fired = True
+        self._value = value
+        self._exception = exception
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            # Wake via the event queue (not synchronously) so waiters run in
+            # deterministic FIFO order after the triggering callback returns.
+            self._sim.schedule(0.0, resume, value, exception)
+
+    def _add_waiter(self, resume: ResumeFn) -> Callable[[], None]:
+        """Register a resume callback; returns a function that deregisters it."""
+        if self._fired:
+            self._sim.schedule(0.0, resume, self._value, self._exception)
+            return lambda: None
+        self._waiters.append(resume)
+
+        def remove() -> None:
+            if resume in self._waiters:
+                self._waiters.remove(resume)
+
+        return remove
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else f"{len(self._waiters)} waiting"
+        return f"<Signal {self.name!r} {state}>"
+
+
+class Process:
+    """A running generator, driven by the simulator.
+
+    Create through :meth:`repro.sim.engine.Simulator.spawn`.  The process
+    starts at the current virtual time (via a zero-delay event, so the caller
+    finishes its own event first).
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator,
+                 name: str = "") -> None:
+        self._sim = sim
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.done = Signal(sim, name=f"{self.name}.done")
+        self.alive = True
+        #: Return value of the generator once finished normally.
+        self.result: Any = None
+        #: Exception that terminated the generator, if any.
+        self.error: Optional[BaseException] = None
+        # The cancel handle for whatever the process is currently waiting on.
+        self._cancel_wait: Optional[Callable[[], None]] = None
+        sim.schedule(0.0, self._resume, None, None)
+
+    # ------------------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Cancel the current wait and raise ProcessInterrupt in the process.
+
+        Interrupting a finished process is a no-op (the common shutdown race).
+        """
+        if not self.alive:
+            return
+        self._cancel_pending_wait()
+        self._sim.schedule(0.0, self._resume, None, ProcessInterrupt(cause))
+
+    def kill(self) -> None:
+        """Terminate the process without running any more of its code."""
+        if not self.alive:
+            return
+        self._cancel_pending_wait()
+        self.alive = False
+        self._generator.close()
+        self.done.trigger(None)
+
+    # ------------------------------------------------------------------
+
+    def _cancel_pending_wait(self) -> None:
+        if self._cancel_wait is not None:
+            self._cancel_wait()
+            self._cancel_wait = None
+
+    def _resume(self, value: Any, exception: Optional[BaseException]) -> None:
+        if not self.alive:
+            return  # killed or interrupted while a wake-up was in flight
+        self._cancel_wait = None
+        try:
+            if exception is not None:
+                yielded = self._generator.throw(exception)
+            else:
+                yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            self.done.trigger(stop.value)
+            return
+        except ProcessInterrupt:
+            # Interrupt not caught by the process: treat as clean termination.
+            self.alive = False
+            self.done.trigger(None)
+            return
+        except Exception as exc:
+            self.alive = False
+            self.error = exc
+            had_waiters = bool(self.done._waiters)
+            self.done.fail(exc)
+            if not had_waiters:
+                # Nobody is joining this process; surface the crash loudly
+                # (errors should never pass silently).
+                raise
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            event = self._sim.schedule(yielded.delay, self._resume, None, None)
+            self._cancel_wait = event.cancel
+        elif isinstance(yielded, Signal):
+            self._cancel_wait = yielded._add_waiter(self._resume)
+        elif isinstance(yielded, Process):
+            self._cancel_wait = yielded.done._add_waiter(self._resume)
+        else:
+            error = SimulationError(
+                f"process {self.name!r} yielded {yielded!r}; expected "
+                "Timeout, Signal, or Process")
+            self.alive = False
+            self.error = error
+            self.done.fail(error)
+            raise error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name!r} {state}>"
+
+
+def all_of(sim: "Simulator", processes: List[Process]) -> Signal:
+    """Signal that fires once every process in ``processes`` has finished."""
+    joined = Signal(sim, name="all_of")
+    remaining = {"count": len(processes)}
+    if remaining["count"] == 0:
+        joined.trigger([])
+        return joined
+
+    def one_done(_value: Any, exception: Optional[BaseException]) -> None:
+        if joined.fired:
+            return
+        if exception is not None:
+            joined.fail(exception)
+            return
+        remaining["count"] -= 1
+        if remaining["count"] == 0:
+            joined.trigger([process.result for process in processes])
+
+    for process in processes:
+        process.done._add_waiter(one_done)
+    return joined
+
+
+# Imported late to avoid a cycle at module import time.
+from repro.sim.engine import Simulator  # noqa: E402  (documented cycle break)

@@ -1,0 +1,78 @@
+"""Structured trace of simulation activity.
+
+Model components record what happened (a job finished, a message was dropped,
+an update was applied) as :class:`TraceRecord` rows.  The metrics collectors
+and consistency checkers consume these rows after the run; tests assert on
+them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence at virtual time :attr:`time`."""
+
+    time: float
+    category: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class Tracer:
+    """Append-only store of :class:`TraceRecord` rows.
+
+    Tracing can be narrowed to a set of categories with :meth:`enable_only`
+    to keep long benchmark runs cheap; by default everything is kept.
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._records: List[TraceRecord] = []
+        self._enabled: Optional[frozenset] = None  # None means "all"
+
+    def record(self, category: str, **fields: Any) -> None:
+        """Append one record stamped with the current virtual time."""
+        if self._enabled is not None and category not in self._enabled:
+            return
+        self._records.append(TraceRecord(self._clock(), category, fields))
+
+    def enable_only(self, *categories: str) -> None:
+        """Keep only the given categories from now on (empty = keep nothing)."""
+        self._enabled = frozenset(categories)
+
+    def enable_all(self) -> None:
+        """Resume keeping every category (the default)."""
+        self._enabled = None
+
+    def select(self, category: str, **matches: Any) -> List[TraceRecord]:
+        """Records of ``category`` whose fields equal all of ``matches``."""
+        return [
+            record for record in self._records
+            if record.category == category
+            and all(record.get(key) == value for key, value in matches.items())
+        ]
+
+    def categories(self) -> Dict[str, int]:
+        """Histogram of category -> record count (diagnostics)."""
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            counts[record.category] = counts.get(record.category, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

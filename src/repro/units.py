@@ -1,0 +1,53 @@
+"""Time units and small numeric helpers.
+
+The simulator's native unit is the **second**, stored as a ``float``.  The
+paper reports everything in milliseconds; these helpers keep conversions
+explicit at API boundaries so magnitudes stay readable (``ms(50)`` rather than
+``0.05``).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Times are plain floats in seconds; this alias documents intent in signatures.
+Seconds = float
+
+#: Largest representable time; used as "never" for timers and deadlines.
+TIME_INFINITY: Seconds = math.inf
+
+
+def ms(value: float) -> Seconds:
+    """Convert milliseconds to the simulator's native seconds."""
+    return value * 1e-3
+
+
+def us(value: float) -> Seconds:
+    """Convert microseconds to the simulator's native seconds."""
+    return value * 1e-6
+
+
+def to_ms(value: Seconds) -> float:
+    """Convert native seconds to milliseconds (for reports and tables)."""
+    return value * 1e3
+
+
+def approximately(a: float, b: float, tolerance: float = 1e-9) -> bool:
+    """True when ``a`` and ``b`` are equal up to absolute/relative tolerance.
+
+    Simulation timestamps are sums of float durations; direct ``==`` on them
+    is fragile, so comparisons in checkers go through this helper.
+    """
+    return math.isclose(a, b, rel_tol=tolerance, abs_tol=tolerance)
+
+
+def utilization_bound_rm(n: int) -> float:
+    """Liu & Layland utilisation bound ``n(2^{1/n} - 1)`` for *n* tasks.
+
+    This is both the classical RM schedulability bound [20] and the Han-Lin
+    feasibility condition for the distance-constrained scheduler ``Sr`` [9]
+    (the paper's Inequality 2.2).  Approaches ``ln 2`` ≈ 0.693 as n → ∞.
+    """
+    if n <= 0:
+        raise ValueError(f"task count must be positive, got {n}")
+    return n * (2.0 ** (1.0 / n) - 1.0)

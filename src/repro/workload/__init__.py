@@ -1,0 +1,21 @@
+"""Workload generation: environments, object populations, scenarios."""
+
+from repro.workload.environment import EnvironmentModel
+from repro.workload.generator import (
+    homogeneous_specs,
+    mixed_specs,
+    spec_for_window,
+)
+from repro.workload.scenarios import Scenario, build_scenario
+from repro.workload.scripted import ScriptedClient, periodic_schedule
+
+__all__ = [
+    "EnvironmentModel",
+    "spec_for_window",
+    "homogeneous_specs",
+    "mixed_specs",
+    "Scenario",
+    "build_scenario",
+    "ScriptedClient",
+    "periodic_schedule",
+]

@@ -1,0 +1,97 @@
+"""Canned experiment scenarios.
+
+A :class:`Scenario` bundles every knob the paper's evaluation turns —
+number of objects, window size, client write rate, loss probability,
+scheduling mode, admission control — and :func:`build_scenario` turns it
+into a ready-to-run :class:`~repro.core.service.RTPBService` with objects
+registered and a sensing client attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.service import RTPBService
+from repro.core.spec import SchedulingMode, ServiceConfig
+from repro.net.link import BernoulliLoss, LossModel, NoLoss
+from repro.units import ms
+from repro.workload.generator import homogeneous_specs
+
+
+@dataclass
+class Scenario:
+    """Parameters for one experimental run."""
+
+    n_objects: int = 8
+    #: δ = δ^B - δ^P, seconds (the paper's "window size").
+    window: float = ms(200.0)
+    #: Client write period p_i, seconds (1/write-rate).
+    client_period: float = ms(100.0)
+    object_size: int = 64
+    #: Primary→backup message loss probability (Bernoulli).
+    loss_probability: float = 0.0
+    scheduling_mode: SchedulingMode = SchedulingMode.NORMAL
+    admission_enabled: bool = True
+    retransmission_enabled: bool = True
+    #: Virtual-time horizon of the run, seconds.
+    horizon: float = 20.0
+    seed: int = 0
+    n_spares: int = 0
+    slack_factor: float = 2.0
+    ell: float = ms(5.0)
+    #: Random client-write jitter half-width, seconds.
+    write_jitter: float = ms(2.0)
+
+    def loss_model(self) -> LossModel:
+        if self.loss_probability <= 0:
+            return NoLoss()
+        return BernoulliLoss(self.loss_probability)
+
+    def config(self) -> ServiceConfig:
+        return ServiceConfig(
+            ell=self.ell,
+            scheduling_mode=self.scheduling_mode,
+            slack_factor=self.slack_factor,
+            admission_enabled=self.admission_enabled,
+            retransmission_enabled=self.retransmission_enabled,
+            ping_max_misses=self._ping_misses_for_loss(),
+        )
+
+    def _ping_misses_for_loss(self) -> int:
+        """Miss threshold keeping heartbeat false positives negligible.
+
+        A ping round fails when the ping *or* its ack is lost:
+        ``q = 1 - (1-p)^2``.  The peer is declared dead after ``m``
+        consecutive failures, so we pick ``m`` with ``q^m <= 1e-8`` — the
+        paper's environment implicitly assumes the detector does not
+        false-trigger during the loss sweeps.
+        """
+        import math
+
+        if self.loss_probability <= 0:
+            return 3
+        round_failure = 1.0 - (1.0 - self.loss_probability) ** 2
+        misses = math.ceil(math.log(1e-8) / math.log(round_failure))
+        return max(4, int(misses))
+
+
+def build_scenario(scenario: Scenario) -> RTPBService:
+    """Instantiate a service per ``scenario``: objects registered, client attached."""
+    service = RTPBService(
+        config=scenario.config(),
+        seed=scenario.seed,
+        loss_model=scenario.loss_model(),
+        n_spares=scenario.n_spares,
+    )
+    specs = homogeneous_specs(
+        scenario.n_objects,
+        window=scenario.window,
+        client_period=scenario.client_period,
+        size_bytes=scenario.object_size,
+    )
+    service.register_all(specs)
+    accepted = service.registered_specs()
+    if accepted:
+        service.create_client(accepted, write_jitter=scenario.write_jitter)
+    return service

@@ -1,0 +1,83 @@
+"""Trace-driven client: writes at exactly scripted instants.
+
+The periodic :class:`~repro.core.client.SensorClient` models the paper's
+sensing application; experiments that need *exact* write placement
+(adversarial phasings for theorem-necessity demos, replayed field traces,
+boundary tests) use :class:`ScriptedClient` instead: a list of
+``(time, object_id)`` events, executed verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.core.name_service import NameService
+from repro.core.server import ReplicaServer, Role
+from repro.errors import NoRouteError, ReplicationError
+from repro.sim.engine import Simulator
+from repro.workload.environment import EnvironmentModel
+
+#: One scripted event: (absolute virtual time, object id).
+WriteEvent = Tuple[float, int]
+
+
+class ScriptedClient:
+    """Replays an explicit write schedule against the current primary."""
+
+    def __init__(self, sim: Simulator, environment: EnvironmentModel,
+                 name_service: NameService, service_name: str,
+                 resolver: Callable[[int], Optional[ReplicaServer]],
+                 schedule: Iterable[WriteEvent],
+                 value_size: int = 64, name: str = "scripted") -> None:
+        self.sim = sim
+        self.environment = environment
+        self.name_service = name_service
+        self.service_name = service_name
+        self.resolver = resolver
+        self.value_size = value_size
+        self.name = name
+        self.writes_issued = 0
+        self.writes_refused = 0
+        self._schedule: List[WriteEvent] = sorted(schedule)
+        for time, _object_id in self._schedule:
+            if time < sim.now:
+                raise ReplicationError(
+                    f"scripted write at {time} is in the past (now={sim.now})")
+
+    def start(self) -> None:
+        """Arm every scripted write."""
+        for time, object_id in self._schedule:
+            self.sim.schedule_at(time, self._write, object_id)
+
+    def _write(self, object_id: int) -> None:
+        try:
+            address = self.name_service.lookup(self.service_name)
+        except NoRouteError:
+            self.writes_refused += 1
+            return
+        server = self.resolver(address)
+        if (server is None or not server.alive
+                or server.role is not Role.PRIMARY
+                or object_id not in server.store):
+            self.writes_refused += 1
+            return
+        sample_time = self.sim.now
+        value = self.environment.sample(object_id, sample_time,
+                                        self.value_size)
+        if server.client_write(object_id, value, source_time=sample_time):
+            self.writes_issued += 1
+        else:
+            self.writes_refused += 1
+
+
+def periodic_schedule(object_id: int, period: float, start: float,
+                      end: float, offset: float = 0.0) -> List[WriteEvent]:
+    """Helper: the exact write instants a perfect periodic client makes."""
+    if period <= 0:
+        raise ReplicationError(f"period must be > 0: {period}")
+    events: List[WriteEvent] = []
+    time = start + offset
+    while time < end:
+        events.append((time, object_id))
+        time += period
+    return events

@@ -1,0 +1,59 @@
+"""Anchor protocol: the bridge between host code and the protocol stack.
+
+In the paper's Figure 5 the RTPB protocol "serves as an anchor protocol in
+the x-kernel protocol stack: from above it provides an interface between the
+x-kernel and the outside host operating system ... from below it connects
+with the rest of the protocol stack through the uniform protocol interface."
+
+:class:`AnchorProtocol` is that adapter in reusable form: host-side code
+registers plain-Python callbacks, and the anchor converts between callback
+land and the push/demux discipline.  The RTPB protocol object in
+:mod:`repro.core.rtpb_protocol` builds on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol, ProtocolUser, Session
+
+#: Host-side handler for inbound messages: (message, info) -> None.
+InboundHandler = Callable[[Message, Dict[str, Any]], None]
+
+
+class AnchorProtocol(Protocol):
+    """Top-of-stack protocol delivering inbound traffic to a host callback."""
+
+    def __init__(self, sim: "Simulator", name: str = "anchor") -> None:
+        super().__init__(sim, name)
+        self._handler: Optional[InboundHandler] = None
+        self._down_session: Optional[Session] = None
+
+    def set_handler(self, handler: InboundHandler) -> None:
+        """Register the host-side callback for inbound messages."""
+        self._handler = handler
+
+    def bind(self, local: Any) -> None:
+        """Passive-open the layer below for traffic addressed to ``local``."""
+        self.down.open_enable(self, local)
+
+    def session_to(self, destination: Any) -> Session:
+        """Active-open a session to ``destination`` through the layer below."""
+        return self.down.open(self, destination)
+
+    def send(self, session: Session, message: Message) -> None:
+        """Push ``message`` down through ``session``."""
+        session.push(message)
+
+    def receive(self, session: Session, message: Message,
+                info: Dict[str, Any]) -> None:
+        if self._handler is None:
+            # No host handler: the message has nowhere to go.  Trace rather
+            # than raise — a server that has crashed is exactly this state.
+            self.sim.trace.record("anchor_drop", protocol=self.name)
+            return
+        self._handler(message, info)
+
+
+from repro.sim.engine import Simulator  # noqa: E402  (typing only)

@@ -1,0 +1,82 @@
+"""Declarative protocol-graph composition.
+
+The x-kernel configures each kernel instance from a *protocol graph* file
+declaring which protocol objects exist and how they stack.  Here the spec is
+a dict mapping protocol name to the list of names it sits on, e.g.::
+
+    spec = {"rtpb": ["udp"], "udp": ["ip"], "ip": ["link"], "link": []}
+
+and a registry of factories builds the instances.  Validation rejects unknown
+names and cycles, the two misconfigurations the x-kernel catches at boot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.errors import ProtocolGraphError
+from repro.xkernel.protocol import Protocol
+
+ProtocolFactory = Callable[..., Protocol]
+
+
+class ProtocolGraph:
+    """Builds and owns one host's protocol stack from a declarative spec."""
+
+    def __init__(self, spec: Dict[str, List[str]],
+                 factories: Dict[str, ProtocolFactory]) -> None:
+        self.spec = dict(spec)
+        self._validate(factories)
+        self.protocols: Dict[str, Protocol] = {}
+        self._factories = factories
+
+    def _validate(self, factories: Dict[str, ProtocolFactory]) -> None:
+        for name, lowers in self.spec.items():
+            if name not in factories:
+                raise ProtocolGraphError(f"no factory for protocol {name!r}")
+            for lower in lowers:
+                if lower not in self.spec:
+                    raise ProtocolGraphError(
+                        f"{name!r} depends on undeclared protocol {lower!r}")
+        self._topological_order()  # raises on cycles
+
+    def _topological_order(self) -> List[str]:
+        """Bottom-up build order; raises ProtocolGraphError on a cycle."""
+        order: List[str] = []
+        state: Dict[str, int] = {}  # 0 unvisited, 1 in progress, 2 done
+
+        def visit(name: str) -> None:
+            mark = state.get(name, 0)
+            if mark == 2:
+                return
+            if mark == 1:
+                raise ProtocolGraphError(f"protocol graph cycle through {name!r}")
+            state[name] = 1
+            for lower in self.spec[name]:
+                visit(lower)
+            state[name] = 2
+            order.append(name)
+
+        for name in self.spec:
+            visit(name)
+        return order
+
+    def build(self, **context: Any) -> Dict[str, Protocol]:
+        """Instantiate every protocol bottom-up and wire the edges.
+
+        ``context`` keyword arguments are passed to every factory (the
+        simulator, the host, the link port...).  Returns name -> instance.
+        """
+        for name in self._topological_order():
+            protocol = self._factories[name](name=name, **context)
+            for lower in self.spec[name]:
+                protocol.connect_below(self.protocols[lower])
+            self.protocols[name] = protocol
+        return self.protocols
+
+    def __getitem__(self, name: str) -> Protocol:
+        try:
+            return self.protocols[name]
+        except KeyError:
+            raise ProtocolGraphError(
+                f"protocol {name!r} not built (call build() first)") from None

@@ -1,0 +1,90 @@
+"""Tests for the active (state-machine) replication baseline."""
+
+import pytest
+
+from repro.baselines.active import ActiveReplicationService
+from repro.core.service import RTPBService
+from repro.core.spec import ServiceConfig
+from repro.errors import ReplicationError
+from repro.metrics.collectors import response_time_stats
+from repro.net.link import BernoulliLoss
+from repro.units import ms
+from repro.workload.generator import homogeneous_specs
+
+
+def run_service(n_replicas=2, seed=5, loss=None, horizon=10.0):
+    service = ActiveReplicationService(
+        n_replicas=n_replicas, seed=seed,
+        loss_model=BernoulliLoss(loss) if loss else None)
+    specs = homogeneous_specs(4, window=ms(200), client_period=ms(100))
+    service.register_all(specs)
+    service.create_client(specs)
+    service.run(horizon)
+    return service, specs
+
+
+def test_needs_at_least_two_replicas():
+    with pytest.raises(ReplicationError):
+        ActiveReplicationService(n_replicas=1)
+
+
+def test_every_replica_applies_every_write_in_order():
+    service, specs = run_service(n_replicas=3)
+    sequencer = service.replicas[0]
+    for member in service.replicas[1:]:
+        for spec in specs:
+            member_seq = member.store.get(spec.object_id).seq
+            sequencer_seq = sequencer.store.get(spec.object_id).seq
+            # Members trail by at most the in-flight window (sequence
+            # numbers are global across objects, so the gap spans the
+            # writes of all four objects currently in flight).
+            assert sequencer_seq - member_seq <= 8
+        # Ordered delivery: history sequence numbers strictly increase.
+        for spec in specs:
+            seqs = [version.seq for version in
+                    member.store.get(spec.object_id).history._versions]
+            assert seqs == sorted(seqs)
+
+
+def test_response_waits_for_whole_group():
+    active, _ = run_service(n_replicas=2)
+    rtpb = RTPBService(seed=5)
+    specs = homogeneous_specs(4, window=ms(200), client_period=ms(100))
+    rtpb.register_all(specs)
+    rtpb.create_client(specs)
+    rtpb.run(10.0)
+    active_mean = response_time_stats(active, 2.0).mean
+    rtpb_mean = response_time_stats(rtpb, 2.0).mean
+    # Agreement costs at least one multicast round trip.
+    assert active_mean > rtpb_mean + ms(5)
+
+
+def test_more_replicas_cost_more():
+    two, _ = run_service(n_replicas=2)
+    four, _ = run_service(n_replicas=4)
+    assert four.fabric.messages_sent > 1.5 * two.fabric.messages_sent
+    assert response_time_stats(four, 2.0).mean >= \
+        response_time_stats(two, 2.0).mean - ms(1)
+
+
+def test_atomicity_under_loss():
+    """Retries push every ordered write through 15% loss; no member skips
+    or reorders a delivery."""
+    service, specs = run_service(n_replicas=3, loss=0.15, horizon=15.0)
+    issued = service.clients[0].writes_issued
+    responses = len(service.trace.select("client_response"))
+    assert responses >= issued - 10  # all but the in-flight tail complete
+    retransmissions = service.trace.select("update_sent",
+                                           retransmission=True)
+    assert retransmissions
+    for member in service.replicas[1:]:
+        for spec in specs:
+            seqs = [version.seq for version in
+                    member.store.get(spec.object_id).history._versions]
+            assert seqs == sorted(seqs)
+
+
+def test_member_rejects_client_writes():
+    service, specs = run_service(n_replicas=2, horizon=1.0)
+    assert not service.replicas[1].client_write(specs[0].object_id, b"x",
+                                                source_time=0.0)

@@ -1,0 +1,70 @@
+"""Tests for the eager (synchronous) replication baseline."""
+
+import pytest
+
+from repro.baselines.eager import EagerService
+from repro.core.service import RTPBService
+from repro.metrics.collectors import (
+    average_max_distance,
+    response_time_stats,
+)
+from repro.net.link import BernoulliLoss
+from repro.units import ms
+from repro.workload.generator import homogeneous_specs
+
+
+def run_service(cls, seed=5, loss=None, horizon=10.0, **kwargs):
+    if loss and "config" not in kwargs:
+        # Loss-tolerant heartbeat: keep the failure detector from
+        # false-triggering during loss tests.
+        from repro.core.spec import ServiceConfig
+
+        kwargs["config"] = ServiceConfig(ping_max_misses=40)
+    service = cls(seed=seed,
+                  loss_model=BernoulliLoss(loss) if loss else None, **kwargs)
+    specs = homogeneous_specs(4, window=ms(200), client_period=ms(100))
+    service.register_all(specs)
+    service.create_client(specs)
+    service.run(horizon)
+    return service
+
+
+def test_eager_response_includes_round_trip():
+    eager = run_service(EagerService)
+    rtpb = run_service(RTPBService)
+    eager_mean = response_time_stats(eager, 2.0).mean
+    rtpb_mean = response_time_stats(rtpb, 2.0).mean
+    # Eager pays tx cost + one-way delay + apply + ack delay; RTPB only the
+    # local RPC.  The gap must be at least one ell (5 ms).
+    assert eager_mean > rtpb_mean + ms(5)
+
+
+def test_eager_acks_complete_every_write():
+    service = run_service(EagerService)
+    issued = service.clients[0].writes_issued
+    responses = len(service.trace.select("client_response"))
+    # A handful may be in flight at the horizon.
+    assert responses >= issued - 5
+
+
+def test_eager_retries_through_loss():
+    service = run_service(EagerService, loss=0.2, horizon=15.0)
+    primary = service.primary_server
+    assert primary.sync_retransmissions > 0
+    issued = service.clients[0].writes_issued
+    responses = len(service.trace.select("client_response"))
+    assert responses >= issued * 0.9
+
+
+def test_eager_keeps_backup_equally_fresh():
+    eager = run_service(EagerService)
+    rtpb = run_service(RTPBService)
+    # Eager pushes on every write: its primary/backup distance cannot exceed
+    # RTPB's (which waits for the periodic task).
+    assert average_max_distance(eager, 10.0, 2.0) <= \
+        average_max_distance(rtpb, 10.0, 2.0) + 1e-9
+
+
+def test_eager_has_no_periodic_transmission_tasks():
+    service = run_service(EagerService)
+    assert service.primary_server.transmitter.object_count() == 0

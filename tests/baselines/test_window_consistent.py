@@ -1,0 +1,67 @@
+"""Tests for the window-consistent (Mehra et al.) baseline."""
+
+import pytest
+
+from repro.baselines.window_consistent import WindowConsistentService
+from repro.core.service import RTPBService
+from repro.metrics.collectors import response_time_stats
+from repro.net.link import BernoulliLoss
+from repro.units import ms
+from repro.workload.generator import homogeneous_specs
+
+
+def run_service(cls, seed=5, horizon=10.0, client_period=ms(100),
+                n_objects=4, loss=None):
+    service = cls(seed=seed,
+                  loss_model=BernoulliLoss(loss) if loss else None)
+    specs = homogeneous_specs(n_objects, window=ms(200),
+                              client_period=client_period)
+    service.register_all(specs)
+    service.create_client(specs)
+    service.run(horizon)
+    return service
+
+
+def test_transmissions_coupled_to_writes():
+    service = run_service(WindowConsistentService)
+    writes = len(service.trace.select("primary_write"))
+    sends = len(service.trace.select("update_sent"))
+    # One transmission per write (a couple may be in flight at the horizon).
+    assert abs(writes - sends) <= 5
+
+
+def test_response_time_still_fast():
+    """Coupling transmission to writes must not block the response (the
+    send happens after the reply, asynchronously)."""
+    service = run_service(WindowConsistentService)
+    assert response_time_stats(service, 2.0).mean < ms(5)
+
+
+def test_transmission_load_scales_with_write_rate():
+    slow = run_service(WindowConsistentService, client_period=ms(200))
+    fast = run_service(WindowConsistentService, client_period=ms(50))
+    slow_sends = len(slow.trace.select("update_sent"))
+    fast_sends = len(fast.trace.select("update_sent"))
+    assert fast_sends > 3 * slow_sends
+
+
+def test_rtpb_decoupling_caps_transmission_load():
+    """The paper's motivation: under fast writers RTPB sends at the window
+    rate while window-consistent sends at the write rate."""
+    wc = run_service(WindowConsistentService, client_period=ms(20),
+                     horizon=8.0)
+    rtpb = run_service(RTPBService, client_period=ms(20), horizon=8.0)
+    wc_sends = len(wc.trace.select("update_sent"))
+    rtpb_sends = len(rtpb.trace.select("update_sent"))
+    assert rtpb_sends < wc_sends / 2
+
+
+def test_no_periodic_transmission_tasks():
+    service = run_service(WindowConsistentService)
+    assert service.primary_server.transmitter.object_count() == 0
+
+
+def test_retransmission_requests_still_served():
+    service = run_service(WindowConsistentService, loss=0.3, horizon=15.0)
+    if service.backup_server.retx_requests_sent:
+        assert service.primary_server.retx_requests_served > 0

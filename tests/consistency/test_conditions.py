@@ -1,0 +1,191 @@
+"""Unit tests for the paper's lemmas and theorems as predicates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.external import (
+    backup_period_bound,
+    lemma1_sufficient_primary,
+    lemma2_sufficient_backup,
+    primary_period_bound,
+    theorem1_condition_primary,
+    theorem4_condition_backup,
+    theorem5_condition_backup,
+    window,
+)
+from repro.consistency.interobject import (
+    interobject_to_external,
+    lemma3_sufficient,
+    theorem6_condition,
+)
+from repro.errors import InvalidTaskError
+
+
+# ---------------------------------------------------------------------------
+# Primary-side conditions (Lemma 1 / Theorem 1)
+# ---------------------------------------------------------------------------
+
+
+def test_lemma1_boundary():
+    # p <= (delta + e)/2:  p=0.055, e=0.01, delta=0.1 -> bound 0.055.
+    assert lemma1_sufficient_primary(0.055, 0.01, 0.1)
+    assert not lemma1_sufficient_primary(0.056, 0.01, 0.1)
+
+
+def test_theorem1_boundary():
+    # p <= delta - v:  delta=0.1, v=0.02 -> bound 0.08.
+    assert theorem1_condition_primary(0.08, 0.1, 0.02)
+    assert not theorem1_condition_primary(0.081, 0.1, 0.02)
+
+
+def test_theorem1_zero_variance_relaxes_to_delta():
+    assert theorem1_condition_primary(0.1, 0.1, 0.0)
+
+
+def test_primary_period_bound():
+    assert primary_period_bound(0.1, 0.02) == pytest.approx(0.08)
+
+
+@given(st.floats(min_value=0.001, max_value=1.0),
+       st.floats(min_value=0.0, max_value=0.5),
+       st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=200, deadline=None)
+def test_theorem1_iff_period_bound(p, v, delta):
+    holds = theorem1_condition_primary(p, delta, v)
+    assert holds == (p <= primary_period_bound(delta, v) + 1e-12)
+
+
+@given(st.floats(min_value=0.001, max_value=0.2),
+       st.floats(min_value=0.001, max_value=0.2),
+       st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=200, deadline=None)
+def test_lemma1_is_weaker_than_theorem1_with_inequality_2_1_variance(p, e, delta):
+    """If Lemma 1 admits (p, e, delta), Theorem 1 admits it for any variance
+    respecting Inequality 2.1 (v <= p - e)... whenever p satisfies both
+    preconditions.  This is the paper's claimed relaxation direction."""
+    if e > p:
+        return
+    if lemma1_sufficient_primary(p, e, delta):
+        # Worst variance allowed by Inequality 2.1:
+        v = p - e
+        # Lemma 1: 2p - e <= delta  =>  p <= delta - (p - e) = delta - v.
+        assert theorem1_condition_primary(p, delta, v)
+
+
+# ---------------------------------------------------------------------------
+# Backup-side conditions (Lemma 2 / Theorems 4-5)
+# ---------------------------------------------------------------------------
+
+
+def test_theorem4_boundary():
+    # r <= delta_b - v' - p - v - ell
+    # delta_b=0.3, v'=0.01, p=0.1, v=0.02, ell=0.005 -> bound 0.165.
+    assert theorem4_condition_backup(0.165, 0.1, 0.02, 0.01, 0.005, 0.3)
+    assert not theorem4_condition_backup(0.166, 0.1, 0.02, 0.01, 0.005, 0.3)
+
+
+def test_theorem5_is_theorem4_special_case():
+    # With v = v' = 0 and p = delta_p, Theorem 4's bound becomes
+    # delta_b - delta_p - ell, which is Theorem 5.
+    delta_p, delta_b, ell = 0.1, 0.3, 0.005
+    r = delta_b - delta_p - ell
+    assert theorem5_condition_backup(r, delta_p, delta_b, ell)
+    assert theorem4_condition_backup(r, delta_p, 0.0, 0.0, ell, delta_b)
+    assert not theorem5_condition_backup(r + 0.001, delta_p, delta_b, ell)
+
+
+def test_lemma2_sufficient_form():
+    # r <= (delta_b + e + e' - ell)/2 - p
+    r_bound = (0.3 + 0.01 + 0.01 - 0.005) / 2 - 0.1
+    assert lemma2_sufficient_backup(r_bound, 0.1, 0.01, 0.01, 0.005, 0.3)
+    assert not lemma2_sufficient_backup(r_bound + 0.001, 0.1, 0.01, 0.01,
+                                        0.005, 0.3)
+
+
+def test_backup_period_bound_formula():
+    assert backup_period_bound(0.3, 0.1, 0.02, 0.01, 0.005) == pytest.approx(
+        0.165)
+
+
+def test_window_helper():
+    assert window(0.1, 0.3) == pytest.approx(0.2)
+
+
+@given(st.floats(min_value=0.001, max_value=0.3),
+       st.floats(min_value=0.001, max_value=0.3),
+       st.floats(min_value=0.0, max_value=0.05),
+       st.floats(min_value=0.0, max_value=0.05),
+       st.floats(min_value=0.0, max_value=0.02),
+       st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=200, deadline=None)
+def test_theorem4_iff_backup_bound(r, p, v, v_prime, ell, delta_b):
+    holds = theorem4_condition_backup(r, p, v, v_prime, ell, delta_b)
+    assert holds == (
+        r <= backup_period_bound(delta_b, p, v, v_prime, ell) + 1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Inter-object conditions (Lemma 3 / Theorem 6)
+# ---------------------------------------------------------------------------
+
+
+def test_theorem6_both_objects_must_satisfy():
+    assert theorem6_condition(0.08, 0.02, 0.09, 0.01, 0.1)
+    assert not theorem6_condition(0.09, 0.02, 0.09, 0.01, 0.1)  # i fails
+    assert not theorem6_condition(0.08, 0.02, 0.10, 0.01, 0.1)  # j fails
+
+
+def test_theorem6_zero_variance_simplification():
+    # With v_i = v_j = 0 the conditions collapse to p <= delta_ij.
+    assert theorem6_condition(0.1, 0.0, 0.1, 0.0, 0.1)
+    assert not theorem6_condition(0.11, 0.0, 0.1, 0.0, 0.1)
+
+
+def test_lemma3_boundary():
+    bound_i = (0.1 + 0.01) / 2
+    assert lemma3_sufficient(bound_i, 0.01, bound_i, 0.01, 0.1)
+    assert not lemma3_sufficient(bound_i + 0.001, 0.01, bound_i, 0.01, 0.1)
+
+
+def test_interobject_to_external_caps():
+    converted = interobject_to_external(1, 2, delta_ij=0.1, v_i=0.02,
+                                        v_j=0.01)
+    assert converted.period_cap_i == pytest.approx(0.08)
+    assert converted.period_cap_j == pytest.approx(0.09)
+    assert converted.object_i == 1
+    assert converted.object_j == 2
+
+
+def test_interobject_conversion_validation():
+    with pytest.raises(InvalidTaskError):
+        interobject_to_external(1, 2, delta_ij=0.0)
+    with pytest.raises(InvalidTaskError):
+        interobject_to_external(1, 2, delta_ij=0.1, v_i=-0.1)
+
+
+@given(st.floats(min_value=0.001, max_value=0.5),
+       st.floats(min_value=0.0, max_value=0.2),
+       st.floats(min_value=0.001, max_value=0.5),
+       st.floats(min_value=0.0, max_value=0.2),
+       st.floats(min_value=0.001, max_value=1.0))
+@settings(max_examples=200, deadline=None)
+def test_theorem6_matches_externalized_caps(p_i, v_i, p_j, v_j, delta):
+    converted = interobject_to_external(0, 1, delta, v_i, v_j)
+    holds = theorem6_condition(p_i, v_i, p_j, v_j, delta)
+    assert holds == (p_i <= converted.period_cap_i + 1e-12
+                     and p_j <= converted.period_cap_j + 1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def test_conditions_reject_nonpositive_periods():
+    with pytest.raises(InvalidTaskError):
+        theorem1_condition_primary(0.0, 0.1, 0.0)
+    with pytest.raises(InvalidTaskError):
+        theorem4_condition_backup(-0.1, 0.1, 0.0, 0.0, 0.0, 0.3)
+    with pytest.raises(InvalidTaskError):
+        theorem6_condition(0.0, 0.0, 0.1, 0.0, 0.1)

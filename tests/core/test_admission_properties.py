@@ -1,0 +1,113 @@
+"""Property tests: admission-controller invariants under random workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import AdmissionController
+from repro.core.spec import ObjectSpec, ServiceConfig
+from repro.units import ms, utilization_bound_rm
+
+
+@st.composite
+def random_specs(draw):
+    count = draw(st.integers(min_value=1, max_value=40))
+    specs = []
+    for object_id in range(count):
+        period = draw(st.sampled_from([ms(25), ms(50), ms(100), ms(200)]))
+        window = draw(st.sampled_from([ms(30), ms(60), ms(120), ms(250),
+                                       ms(500)]))
+        size = draw(st.sampled_from([16, 64, 256, 1024]))
+        specs.append(ObjectSpec(
+            object_id=object_id, name=f"o{object_id}", size_bytes=size,
+            client_period=period, delta_primary=period * 1.5,
+            delta_backup=period * 1.5 + window))
+    return specs
+
+
+@given(random_specs())
+@settings(max_examples=60, deadline=None)
+def test_planned_utilization_never_exceeds_bound(specs):
+    """Whatever the registration order, the admitted update-task set stays
+    under the Liu-Layland bound (the controller's core safety invariant)."""
+    controller = AdmissionController(ServiceConfig())
+    for spec in specs:
+        controller.admit(spec)
+    n = controller.admitted_count
+    if n:
+        assert controller.planned_utilization() <= \
+            utilization_bound_rm(n) + 1e-9
+
+
+@given(random_specs())
+@settings(max_examples=60, deadline=None)
+def test_admitted_objects_satisfy_paper_preconditions(specs):
+    controller = AdmissionController(ServiceConfig())
+    config = controller.config
+    decisions = [(spec, controller.admit(spec)) for spec in specs]
+    for spec, decision in decisions:
+        if not decision.accepted:
+            continue
+        # Section 4.2's checks hold for everything admitted.
+        assert spec.client_period <= spec.delta_primary + 1e-12
+        assert spec.window > config.ell
+        assert decision.update_period is not None
+        assert decision.update_period <= \
+            (spec.window - config.ell) / config.slack_factor + 1e-12
+
+
+@given(random_specs())
+@settings(max_examples=40, deadline=None)
+def test_evaluate_does_not_mutate_state(specs):
+    """evaluate() must be a pure check: admitting afterwards behaves as if
+    the evaluation never happened."""
+    controller_a = AdmissionController(ServiceConfig())
+    controller_b = AdmissionController(ServiceConfig())
+    for spec in specs:
+        controller_a.evaluate(spec)  # peek first
+        decision_a = controller_a.admit(spec)
+        decision_b = controller_b.admit(spec)
+        assert decision_a.accepted == decision_b.accepted
+    assert controller_a.admitted_ids() == controller_b.admitted_ids()
+
+
+@given(random_specs())
+@settings(max_examples=40, deadline=None)
+def test_admitted_sets_are_always_dcs_feasible(specs):
+    """The paper's neat coincidence, guaranteed as an invariant: the
+    admission controller's Liu-Layland test IS Inequality 2.2, so every
+    admitted update-task set can be laid out by the pinwheel Sr scheduler
+    (what SchedulingMode.DCS relies on)."""
+    from repro.sched.dcs import DistanceConstrainedScheduler
+    from repro.sched.task import Task
+
+    controller = AdmissionController(ServiceConfig())
+    admitted = [spec for spec in specs if controller.admit(spec).accepted]
+    if not admitted:
+        return
+    tasks = [Task(name=f"tx-{spec.object_id}",
+                  period=controller.update_period_of(spec.object_id),
+                  wcet=min(controller.config.tx_cost(spec.size_bytes),
+                           controller.update_period_of(spec.object_id)))
+             for spec in admitted]
+    layout = DistanceConstrainedScheduler(tasks, scheme="sr")  # must not raise
+    assert layout.feasible_by_condition
+    for task in tasks:
+        assert layout.effective_periods[task.name] <= task.period + 1e-12
+
+
+@given(random_specs(), st.integers(min_value=0, max_value=39))
+@settings(max_examples=40, deadline=None)
+def test_remove_then_readmit_round_trips(specs, victim_index):
+    controller = AdmissionController(ServiceConfig())
+    admitted = [spec for spec in specs if controller.admit(spec).accepted]
+    if not admitted:
+        return
+    victim = admitted[victim_index % len(admitted)]
+    period_before = controller.update_period_of(victim.object_id)
+    controller.remove(victim.object_id)
+    decision = controller.admit(victim)
+    # Freed capacity always re-accepts the same object with the same grant.
+    assert decision.accepted
+    assert controller.update_period_of(victim.object_id) == \
+        pytest.approx(period_before)

@@ -1,0 +1,37 @@
+"""Unit tests for the name service."""
+
+import pytest
+
+from repro.core.name_service import NameService
+from repro.errors import NoRouteError
+from repro.sim.engine import Simulator
+
+
+def test_publish_and_lookup():
+    service = NameService(Simulator())
+    service.publish("rtpb", 1)
+    assert service.lookup("rtpb") == 1
+    assert service.knows("rtpb")
+
+
+def test_lookup_unknown_raises():
+    service = NameService(Simulator())
+    with pytest.raises(NoRouteError):
+        service.lookup("ghost")
+    assert not service.knows("ghost")
+
+
+def test_republish_overwrites():
+    service = NameService(Simulator())
+    service.publish("rtpb", 1)
+    service.publish("rtpb", 2)
+    assert service.lookup("rtpb") == 2
+
+
+def test_change_history_is_timestamped():
+    sim = Simulator()
+    service = NameService(sim)
+    service.publish("rtpb", 1)
+    sim.schedule(5.0, service.publish, "rtpb", 2)
+    sim.run(until=10.0)
+    assert service.changes == [(0.0, "rtpb", 1), (5.0, "rtpb", 2)]

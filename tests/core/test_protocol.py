@@ -1,0 +1,106 @@
+"""Unit tests for the RTPB wire protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rtpb_protocol import (
+    PingAckMsg,
+    PingMsg,
+    RecruitAckMsg,
+    RecruitMsg,
+    RegisterAckMsg,
+    RegisterMsg,
+    RetxRequestMsg,
+    UpdateAckMsg,
+    UpdateMsg,
+    decode_message,
+    encode_message,
+)
+from repro.errors import MessageFormatError
+
+SAMPLES = [
+    UpdateMsg(object_id=3, seq=17, write_time=1.25, source_time=1.2,
+              payload=b"\x01\x02\x03"),
+    UpdateMsg(object_id=0, seq=1, write_time=0.0, source_time=0.0,
+              payload=b"", snapshot=True),
+    PingMsg(role=0, seq=42, send_time=3.5),
+    PingAckMsg(seq=42, echo_send_time=3.5, ack_time=3.51),
+    RetxRequestMsg(object_id=9, last_seq=100),
+    RegisterMsg(object_id=5, size_bytes=256, client_period=0.1,
+                delta_primary=0.1, delta_backup=0.3, update_period=0.0975),
+    RegisterAckMsg(object_id=5, accepted=True),
+    RegisterAckMsg(object_id=5, accepted=False),
+    RecruitMsg(primary_address=2, object_count=12),
+    RecruitAckMsg(backup_address=3),
+    UpdateAckMsg(object_id=7, seq=55),
+]
+
+
+@pytest.mark.parametrize("message", SAMPLES, ids=lambda m: type(m).__name__ +
+                         str(getattr(m, "seq", "")))
+def test_round_trip(message):
+    assert decode_message(encode_message(message)) == message
+
+
+def test_update_payload_preserved_byte_exact():
+    payload = bytes(range(256))
+    message = UpdateMsg(1, 2, 0.5, 0.4, payload)
+    decoded = decode_message(encode_message(message))
+    assert decoded.payload == payload
+
+
+def test_snapshot_flag_round_trips():
+    plain = UpdateMsg(1, 2, 0.5, 0.4, b"x", snapshot=False)
+    snap = UpdateMsg(1, 2, 0.5, 0.4, b"x", snapshot=True)
+    assert not decode_message(encode_message(plain)).snapshot
+    assert decode_message(encode_message(snap)).snapshot
+
+
+def test_empty_message_rejected():
+    with pytest.raises(MessageFormatError):
+        decode_message(b"")
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(MessageFormatError):
+        decode_message(b"\xff")
+
+
+def test_truncated_update_rejected():
+    encoded = encode_message(UpdateMsg(1, 2, 0.5, 0.4, b"payload"))
+    with pytest.raises(MessageFormatError):
+        decode_message(encoded[:-3])
+
+
+def test_truncated_ping_rejected():
+    encoded = encode_message(PingMsg(0, 1, 2.0))
+    with pytest.raises(MessageFormatError):
+        decode_message(encoded[:4])
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=0, max_value=2**32 - 1),
+       st.floats(min_value=0, max_value=1e6, allow_nan=False),
+       st.floats(min_value=0, max_value=1e6, allow_nan=False),
+       st.binary(max_size=512),
+       st.booleans())
+@settings(max_examples=200, deadline=None)
+def test_update_round_trip_property(object_id, seq, write_time, source_time,
+                                    payload, snapshot):
+    message = UpdateMsg(object_id, seq, write_time, source_time, payload,
+                        snapshot)
+    assert decode_message(encode_message(message)) == message
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.floats(min_value=1e-6, max_value=10.0),
+       st.floats(min_value=1e-6, max_value=10.0),
+       st.floats(min_value=1e-6, max_value=10.0),
+       st.floats(min_value=1e-6, max_value=10.0))
+@settings(max_examples=100, deadline=None)
+def test_register_round_trip_property(object_id, period, delta_p, delta_b,
+                                      update_period):
+    message = RegisterMsg(object_id, 64, period, delta_p, delta_b,
+                          update_period)
+    assert decode_message(encode_message(message)) == message

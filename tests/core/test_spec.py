@@ -1,0 +1,102 @@
+"""Unit tests for object specs and service configuration."""
+
+import pytest
+
+from repro.core.spec import (
+    InterObjectConstraint,
+    ObjectSpec,
+    SchedulingMode,
+    ServiceConfig,
+)
+from repro.errors import ReplicationError
+from repro.units import ms
+
+
+def make_spec(**overrides):
+    defaults = dict(object_id=0, name="o", size_bytes=64,
+                    client_period=ms(100), delta_primary=ms(100),
+                    delta_backup=ms(300))
+    defaults.update(overrides)
+    return ObjectSpec(**defaults)
+
+
+def test_window_is_delta_difference():
+    spec = make_spec()
+    assert spec.window == pytest.approx(ms(200))
+
+
+@pytest.mark.parametrize("overrides", [
+    dict(object_id=-1),
+    dict(size_bytes=0),
+    dict(client_period=0.0),
+    dict(delta_primary=-0.1),
+    dict(delta_backup=0.0),
+])
+def test_invalid_spec_rejected(overrides):
+    with pytest.raises(ReplicationError):
+        make_spec(**overrides)
+
+
+def test_interobject_constraint_validation():
+    InterObjectConstraint(0, 1, ms(50))
+    with pytest.raises(ReplicationError):
+        InterObjectConstraint(1, 1, ms(50))
+    with pytest.raises(ReplicationError):
+        InterObjectConstraint(0, 1, 0.0)
+
+
+def test_constraint_involves():
+    constraint = InterObjectConstraint(3, 7, ms(50))
+    assert constraint.involves(3)
+    assert constraint.involves(7)
+    assert not constraint.involves(5)
+
+
+def test_config_defaults_sane():
+    config = ServiceConfig()
+    assert config.ell > 0
+    assert config.slack_factor == 2.0
+    assert config.admission_enabled
+    assert config.scheduling_mode is SchedulingMode.NORMAL
+    assert not config.ack_updates
+
+
+def test_config_validation():
+    with pytest.raises(ReplicationError):
+        ServiceConfig(ell=0.0)
+    with pytest.raises(ReplicationError):
+        ServiceConfig(slack_factor=0.5)
+    with pytest.raises(ReplicationError):
+        ServiceConfig(admission_test="guessing")
+    with pytest.raises(ReplicationError):
+        ServiceConfig(ping_max_misses=0)
+
+
+def test_scheduling_mode_accepts_string():
+    config = ServiceConfig(scheduling_mode="compressed")
+    assert config.scheduling_mode is SchedulingMode.COMPRESSED
+
+
+def test_cost_models_scale_with_size():
+    config = ServiceConfig()
+    assert config.tx_cost(1024) > config.tx_cost(64)
+    assert config.apply_cost(1024) > config.apply_cost(64)
+
+
+def test_update_period_is_window_minus_ell_over_slack():
+    config = ServiceConfig(ell=ms(5), slack_factor=2.0)
+    spec = make_spec()  # window 200 ms
+    assert config.update_period(spec) == pytest.approx(ms(97.5))
+
+
+def test_update_period_rejects_impossible_window():
+    config = ServiceConfig(ell=ms(5))
+    spec = make_spec(delta_backup=ms(104))  # window 4 ms < ell
+    with pytest.raises(ReplicationError):
+        config.update_period(spec)
+
+
+def test_failure_detection_latency_formula():
+    config = ServiceConfig(ping_period=ms(100), ping_timeout=ms(30),
+                           ping_max_misses=3)
+    assert config.failure_detection_latency() == pytest.approx(ms(190))

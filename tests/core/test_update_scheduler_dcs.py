@@ -1,0 +1,104 @@
+"""DCS transmission mode: transmitter-level edge cases."""
+
+import pytest
+
+from repro.core.object_store import ObjectStore
+from repro.core.rtpb_protocol import decode_message
+from repro.core.spec import ObjectSpec, SchedulingMode, ServiceConfig
+from repro.core.update_scheduler import UpdateTransmitter
+from repro.sched.edf import EDFScheduler
+from repro.sched.processor import Processor
+from repro.sim.engine import Simulator
+from repro.units import ms
+
+
+def make_spec(object_id, window=ms(200)):
+    return ObjectSpec(object_id=object_id, name=f"o{object_id}",
+                      size_bytes=64, client_period=ms(100),
+                      delta_primary=ms(100),
+                      delta_backup=ms(100) + window)
+
+
+def build():
+    sim = Simulator(seed=1)
+    config = ServiceConfig(scheduling_mode=SchedulingMode.DCS)
+    processor = Processor(sim, EDFScheduler(), name="primary.cpu")
+    store = ObjectStore()
+    sent = []
+    transmitter = UpdateTransmitter(sim, processor, store, config,
+                                    send=sent.append)
+    return sim, config, processor, store, transmitter, sent
+
+
+def test_single_object_keeps_its_granted_period():
+    sim, config, processor, store, transmitter, sent = build()
+    spec = make_spec(0)
+    store.register(spec)
+    store.write(0, 0.0, b"v", 0.0)
+    transmitter.start()
+    period = config.update_period(spec)
+    transmitter.add_object(0, period)
+    # Specialising a singleton is the identity.
+    assert transmitter.effective_periods[0] == pytest.approx(period)
+    sim.run(until=1.0)
+    assert 9 <= len(sent) <= 11
+
+
+def test_heterogeneous_periods_become_harmonic():
+    import math
+
+    sim, config, processor, store, transmitter, sent = build()
+    for object_id, window in enumerate((ms(150), ms(250), ms(420))):
+        spec = make_spec(object_id, window=window)
+        store.register(spec)
+        store.write(object_id, 0.0, b"v", 0.0)
+        transmitter.add_object(object_id, config.update_period(spec))
+    transmitter.start()
+    periods = sorted(transmitter.effective_periods.values())
+    base = periods[0]
+    for period in periods:
+        ratio = period / base
+        assert 2 ** round(math.log2(ratio)) == pytest.approx(ratio)
+    sim.run(until=2.0)
+    # All three objects transmit.
+    ids = {decode_message(data).object_id for data in sent}
+    assert ids == {0, 1, 2}
+
+
+def test_dcs_sends_rate_at_least_granted():
+    """Specialised periods are <= granted: the update stream is never
+    slower than the admission grant."""
+    sim, config, processor, store, transmitter, sent = build()
+    specs = [make_spec(object_id, window=ms(150 + 70 * object_id))
+             for object_id in range(3)]
+    for spec in specs:
+        store.register(spec)
+        store.write(spec.object_id, 0.0, b"v", 0.0)
+        transmitter.add_object(spec.object_id, config.update_period(spec))
+    transmitter.start()
+    sim.run(until=3.0)
+    counts = {}
+    for data in sent:
+        message = decode_message(data)
+        counts[message.object_id] = counts.get(message.object_id, 0) + 1
+    for spec in specs:
+        granted = config.update_period(spec)
+        minimum_sends = int(3.0 / granted) - 1
+        assert counts[spec.object_id] >= minimum_sends
+
+
+def test_remove_all_then_add_again():
+    sim, config, processor, store, transmitter, sent = build()
+    spec = make_spec(0)
+    store.register(spec)
+    store.write(0, 0.0, b"v", 0.0)
+    period = config.update_period(spec)
+    transmitter.start()
+    transmitter.add_object(0, period)
+    transmitter.remove_object(0)
+    assert transmitter.effective_periods == {}
+    sim.run(until=0.5)
+    baseline = len(sent)
+    transmitter.add_object(0, period)
+    sim.run(until=1.5)
+    assert len(sent) > baseline

@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import FIGURES, build_parser, main
+
+
+def test_list_prints_all_figures(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in FIGURES:
+        assert name in out
+
+
+def test_quick_figure_runs_and_prints_table(capsys):
+    assert main(["fig8", "--quick", "--horizon", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 8" in out
+    assert "loss probability" in out
+    assert "wall]" in out
+
+
+def test_seed_is_threaded_through(capsys):
+    main(["fig8", "--quick", "--horizon", "4", "--seed", "1"])
+    first = capsys.readouterr().out
+    main(["fig8", "--quick", "--horizon", "4", "--seed", "1"])
+    second = capsys.readouterr().out
+    # Identical seeds -> identical tables (strip timing lines).
+    strip = lambda text: "\n".join(
+        line for line in text.splitlines() if not line.startswith("["))
+    assert strip(first) == strip(second)
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig99"])

@@ -1,0 +1,125 @@
+"""Integration: the theory holds on real runs.
+
+These tests close the loop between Sections 2-3 (the models) and Section 4
+(the implementation): on a reliable network, a deployment whose parameters
+satisfy the theorems' conditions never violates temporal consistency, at
+either replica; violating the admission preconditions makes violations
+observable.
+"""
+
+import pytest
+
+from repro.consistency import (
+    ExternalConsistencyChecker,
+    InterObjectConsistencyChecker,
+)
+from repro.core.service import RTPBService
+from repro.core.spec import InterObjectConstraint, ObjectSpec
+from repro.metrics.collectors import (
+    backup_external_violations,
+    primary_external_violations,
+)
+from repro.units import ms
+from repro.workload.generator import homogeneous_specs
+
+HORIZON = 15.0
+WARMUP = 2.0
+
+
+def run_clean_deployment(n_objects=5, window=ms(200), client_period=ms(50),
+                         seed=1):
+    service = RTPBService(seed=seed)
+    specs = homogeneous_specs(n_objects, window=window,
+                              client_period=client_period)
+    service.register_all(specs)
+    service.create_client(specs, write_jitter=0.0)
+    service.run(HORIZON)
+    return service
+
+
+def test_no_primary_violations_on_reliable_network():
+    service = run_clean_deployment()
+    violations = primary_external_violations(service, WARMUP, HORIZON - 1.0)
+    assert all(not per_object for per_object in violations.values())
+
+
+def test_no_backup_violations_on_reliable_network():
+    service = run_clean_deployment()
+    violations = backup_external_violations(service, WARMUP, HORIZON - 1.0)
+    assert all(not per_object for per_object in violations.values())
+
+
+def test_lazy_client_violates_primary_constraint():
+    """A client writing slower than δ^P (which admission would reject) makes
+    the primary image stale — the checker must see it."""
+    service = RTPBService(seed=2)
+    # Register an honest spec, but have the client write 4x too slowly by
+    # lying about the period in the client-facing copy.
+    spec = ObjectSpec(0, "lazy", 64, client_period=ms(100),
+                      delta_primary=ms(100), delta_backup=ms(300))
+    service.register(spec)
+    lying = ObjectSpec(0, "lazy", 64, client_period=ms(400),
+                       delta_primary=ms(100), delta_backup=ms(300))
+    service.create_client([lying], write_jitter=0.0)
+    service.run(HORIZON)
+    violations = primary_external_violations(service, WARMUP, HORIZON - 1.0)
+    assert violations[0]
+
+
+def test_interobject_consistency_holds_on_clean_run():
+    service = RTPBService(seed=3)
+    specs = homogeneous_specs(2, window=ms(200), client_period=ms(40))
+    service.register_all(specs)
+    delta_ij = ms(100)
+    decision = service.add_constraint(InterObjectConstraint(0, 1, delta_ij))
+    assert decision.accepted
+    service.create_client(specs, write_jitter=0.0)
+    service.run(HORIZON)
+
+    checker = InterObjectConsistencyChecker(delta_ij)
+    primary = service.current_primary()
+    history_i = primary.store.get(0).history
+    history_j = primary.store.get(1).history
+    assert checker.holds(history_i, history_j, WARMUP, HORIZON - 1.0)
+
+    backup = service.current_backup()
+    backup_i = backup.store.get(0).history
+    backup_j = backup.store.get(1).history
+    assert checker.holds(backup_i, backup_j, WARMUP, HORIZON - 1.0)
+
+
+def test_theorem5_rate_keeps_backup_within_window():
+    """Updates at r = (δ^B - δ^P - ℓ) (no slack, Theorem 5's exact bound)
+    keep the backup consistent on a reliable network."""
+    from repro.core.spec import ServiceConfig
+
+    service = RTPBService(seed=4, config=ServiceConfig(slack_factor=1.0))
+    specs = homogeneous_specs(3, window=ms(200), client_period=ms(50))
+    service.register_all(specs)
+    service.create_client(specs, write_jitter=0.0)
+    service.run(HORIZON)
+    violations = backup_external_violations(service, WARMUP, HORIZON - 1.0)
+    assert all(not per_object for per_object in violations.values())
+
+
+def test_backup_history_timestamps_monotonic():
+    service = run_clean_deployment()
+    backup = service.current_backup()
+    for record in backup.store:
+        times = list(record.history.times)
+        assert times == sorted(times)
+
+
+def test_admitted_parameters_satisfy_theorem_conditions():
+    """The admission controller's grants are consistent with Theorem 4."""
+    from repro.consistency.external import theorem4_condition_backup
+
+    service = run_clean_deployment()
+    primary = service.current_primary()
+    for record in primary.store:
+        spec = record.spec
+        r = record.update_period
+        # With the zero-variance discipline (v = v' = 0) and p = δ^P:
+        assert theorem4_condition_backup(
+            r, spec.delta_primary, 0.0, 0.0, service.config.ell,
+            spec.delta_backup)

@@ -1,0 +1,177 @@
+"""Unit tests for metric collectors (on synthetic runs and traces)."""
+
+import math
+
+import pytest
+
+from repro.core.service import RTPBService
+from repro.metrics.collectors import (
+    SummaryStats,
+    average_inconsistency_duration,
+    average_max_distance,
+    distance_timeline,
+    inconsistency_durations,
+    max_distance_per_object,
+    response_time_stats,
+    summarize,
+    update_delivery_rate,
+)
+from repro.net.link import BernoulliLoss
+from repro.units import ms
+from repro.workload.generator import homogeneous_specs, spec_for_window
+
+
+# ---------------------------------------------------------------------------
+# summarize
+# ---------------------------------------------------------------------------
+
+
+def test_summarize_basic():
+    stats = summarize([1.0, 2.0, 3.0, 4.0])
+    assert stats.count == 4
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.p50 == pytest.approx(2.0)
+    assert stats.maximum == pytest.approx(4.0)
+
+
+def test_summarize_empty_is_nan():
+    stats = summarize([])
+    assert stats.count == 0
+    assert math.isnan(stats.mean)
+
+
+def test_summarize_p95_on_large_sample():
+    values = list(range(1, 101))
+    stats = summarize([float(v) for v in values])
+    assert stats.p95 == pytest.approx(95.0)
+
+
+def test_summarize_singleton():
+    stats = summarize([7.0])
+    assert stats.p50 == stats.p95 == stats.maximum == 7.0
+
+
+# ---------------------------------------------------------------------------
+# Distance timeline on a hand-built trace
+# ---------------------------------------------------------------------------
+
+
+def synthetic_service():
+    """A service whose trace we populate by hand (no run)."""
+    service = RTPBService(seed=0)
+    spec = spec_for_window(0, window=ms(100), client_period=ms(50))
+    service.register(spec)
+    return service
+
+
+def test_distance_timeline_steps():
+    service = synthetic_service()
+    trace = service.trace
+
+    # primary writes at t=1, 2, 3; backup applies version written at 1 at
+    # t=1.2, version written at 3 at t=3.5.
+    trace._records.clear()
+    from repro.sim.trace import TraceRecord
+    trace._records.extend([
+        TraceRecord(1.0, "primary_write", {"object": 0, "seq": 1}),
+        TraceRecord(1.2, "backup_apply", {"object": 0, "seq": 1,
+                                          "write_time": 1.0}),
+        TraceRecord(2.0, "primary_write", {"object": 0, "seq": 2}),
+        TraceRecord(3.0, "primary_write", {"object": 0, "seq": 3}),
+        TraceRecord(3.5, "backup_apply", {"object": 0, "seq": 3,
+                                          "write_time": 3.0}),
+    ])
+    # Raw timeline (allowance=0): the version-age gap.
+    timeline = distance_timeline(service, 0, horizon=4.0)
+    assert timeline == [
+        (1.2, pytest.approx(0.0)),   # backup caught up to write@1
+        (2.0, pytest.approx(1.0)),   # primary advanced to 2
+        (3.0, pytest.approx(2.0)),   # primary advanced to 3
+        (3.5, pytest.approx(0.0)),   # backup caught up to write@3
+    ]
+    # max_distance is lateness: with the provisioned allowance a of
+    # update period + ell (window 100 ms -> a = 0.0525 s), the backup is
+    # behind from the shifted write@2 frontier (t=2.0525) until the apply
+    # at t=3.5: one episode of 1.4475 s.
+    per_object = max_distance_per_object(service, horizon=4.0)
+    assert per_object[0] == pytest.approx(3.5 - 2.0525)
+
+
+def test_inconsistency_episode_measured_against_window():
+    service = synthetic_service()  # window = 100 ms
+    from repro.sim.trace import TraceRecord
+    service.trace._records.clear()
+    service.trace._records.extend([
+        TraceRecord(1.0, "primary_write", {"object": 0, "seq": 1}),
+        TraceRecord(1.01, "backup_apply", {"object": 0, "seq": 1,
+                                           "write_time": 1.0}),
+        # Write at t=2.0 must reach the backup by t=2.1 (100 ms window)...
+        TraceRecord(2.0, "primary_write", {"object": 0, "seq": 2}),
+        # ...but only arrives at t=2.4: inconsistent on [2.1, 2.4).
+        TraceRecord(2.4, "backup_apply", {"object": 0, "seq": 2,
+                                          "write_time": 2.0}),
+    ])
+    durations = inconsistency_durations(service, horizon=3.0)
+    assert durations == [pytest.approx(0.3)]
+    assert average_inconsistency_duration(service, 3.0) == pytest.approx(0.3)
+
+
+def test_open_episode_counts_to_horizon():
+    service = synthetic_service()
+    from repro.sim.trace import TraceRecord
+    service.trace._records.clear()
+    service.trace._records.extend([
+        TraceRecord(1.0, "primary_write", {"object": 0, "seq": 1}),
+        TraceRecord(1.01, "backup_apply", {"object": 0, "seq": 1,
+                                           "write_time": 1.0}),
+        TraceRecord(2.0, "primary_write", {"object": 0, "seq": 2}),
+    ])
+    # The write@2 falls due at 2.1 (100 ms window) and is never applied:
+    # the open episode runs to the horizon.
+    durations = inconsistency_durations(service, horizon=5.0)
+    assert durations == [pytest.approx(2.9)]
+
+
+def test_no_episodes_gives_zero_mean():
+    service = synthetic_service()
+    assert average_inconsistency_duration(service, 1.0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end sanity on real runs
+# ---------------------------------------------------------------------------
+
+
+def run_real(loss=0.0, horizon=8.0):
+    from repro.core.spec import ServiceConfig
+
+    # Loss-tolerant heartbeat so the detector doesn't false-trigger.
+    config = ServiceConfig(ping_max_misses=40) if loss else None
+    service = RTPBService(
+        seed=4, config=config,
+        loss_model=BernoulliLoss(loss) if loss else None)
+    specs = homogeneous_specs(3, window=ms(200), client_period=ms(100))
+    service.register_all(specs)
+    service.create_client(specs)
+    service.run(horizon)
+    return service
+
+
+def test_response_stats_populated_on_real_run():
+    service = run_real()
+    stats = response_time_stats(service, start=1.0)
+    assert stats.count > 100
+    assert 0 < stats.mean < ms(10)
+
+
+def test_distance_grows_with_loss():
+    clean = average_max_distance(run_real(0.0), 8.0, 1.0)
+    lossy = average_max_distance(run_real(0.3), 8.0, 1.0)
+    assert lossy > clean
+
+
+def test_delivery_rate_reflects_loss():
+    # A handful of updates are legitimately in flight at the horizon or
+    # precede the backup's registration, so "no loss" is ~0.96+, not 1.0.
+    assert update_delivery_rate(run_real(0.0)) > 0.95
+    assert update_delivery_rate(run_real(0.3)) < 0.85

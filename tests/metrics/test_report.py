@@ -1,0 +1,60 @@
+"""Unit tests for table and series rendering."""
+
+import pytest
+
+from repro.metrics.report import Series, Table
+
+
+def test_table_renders_aligned_columns():
+    table = Table("Demo", ["name", "value"])
+    table.add_row("short", 1.0)
+    table.add_row("a-much-longer-name", 123.456)
+    rendered = table.render()
+    lines = rendered.splitlines()
+    assert lines[0] == "Demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    # All data lines align: the value column starts at the same offset.
+    assert lines[3].startswith("short")
+    assert "123.456" in lines[4]
+
+
+def test_table_wrong_arity_rejected():
+    table = Table("Demo", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_table_formats_floats_to_three_places():
+    table = Table("Demo", ["x"])
+    table.add_row(1.23456)
+    assert "1.235" in table.render()
+
+
+def test_series_collects_curves():
+    series = Series("fig", "x", "y", "curve")
+    series.add_point("a", 1.0, 10.0)
+    series.add_point("a", 2.0, 20.0)
+    series.add_point("b", 1.0, 5.0)
+    assert series.curve("a") == [(1.0, 10.0), (2.0, 20.0)]
+    assert series.curve("missing") == []
+
+
+def test_series_to_table_wide_format():
+    series = Series("fig", "x", "y", "curve")
+    series.add_point("a", 1.0, 10.0)
+    series.add_point("b", 2.0, 5.0)
+    table = series.to_table()
+    assert table.columns == ["x", "a", "b"]
+    rendered = table.render()
+    # Missing combinations render as "-".
+    assert "-" in rendered
+    assert "10.000" in rendered
+
+
+def test_series_render_includes_labels():
+    series = Series("Figure 6", "objects", "response (ms)", "window")
+    series.add_point("w=100", 8, 0.5)
+    rendered = series.render()
+    assert "Figure 6" in rendered
+    assert "objects" in rendered
+    assert "w=100" in rendered

@@ -1,0 +1,101 @@
+"""Unit tests for the deferrable server."""
+
+import pytest
+
+from repro.errors import InvalidTaskError
+from repro.sched.aperiodic import DeferrableServer
+from repro.sched.edf import EDFScheduler
+from repro.sched.processor import Processor
+from repro.sched.task import Task
+from repro.sim.engine import Simulator
+
+
+def build(budget=0.01, period=0.1):
+    sim = Simulator()
+    cpu = Processor(sim, EDFScheduler())
+    server = DeferrableServer(sim, cpu, budget=budget, period=period)
+    return sim, cpu, server
+
+
+def test_validation():
+    sim = Simulator()
+    cpu = Processor(sim)
+    with pytest.raises(InvalidTaskError):
+        DeferrableServer(sim, cpu, budget=0.0, period=0.1)
+    with pytest.raises(InvalidTaskError):
+        DeferrableServer(sim, cpu, budget=0.2, period=0.1)
+
+
+def test_jobs_within_budget_run_immediately():
+    sim, cpu, server = build()
+    done = []
+    server.submit("a", cost=0.004, action=lambda job: done.append(sim.now))
+    server.submit("b", cost=0.004, action=lambda job: done.append(sim.now))
+    sim.run(until=0.05)
+    assert len(done) == 2
+    assert done[-1] < 0.01  # both inside the first period, back to back
+
+
+def test_budget_exhaustion_defers_to_next_period():
+    sim, cpu, server = build(budget=0.01, period=0.1)
+    done = []
+    for index in range(3):  # 3 x 5 ms > 10 ms budget
+        server.submit(f"j{index}", cost=0.005,
+                      action=lambda job: done.append(sim.now))
+    sim.run(until=0.3)
+    assert len(done) == 3
+    assert done[0] < 0.1 and done[1] < 0.1
+    assert 0.1 <= done[2] < 0.2  # third waits for replenishment
+
+
+def test_unused_budget_is_preserved_within_period():
+    """The deferrable property: a late arrival still finds budget."""
+    sim, cpu, server = build(budget=0.01, period=0.1)
+    done = []
+    sim.schedule(0.09, lambda: server.submit(
+        "late", cost=0.008, action=lambda job: done.append(sim.now)))
+    sim.run(until=0.2)
+    assert done and done[0] < 0.1
+
+
+def test_oversized_job_rejected():
+    sim, cpu, server = build(budget=0.01, period=0.1)
+    with pytest.raises(InvalidTaskError):
+        server.submit("huge", cost=0.02)
+
+
+def test_served_jobs_run_at_realtime_priority():
+    sim, cpu, server = build(budget=0.02, period=0.1)
+    # A long background job is running; a server job must preempt it.
+    cpu.submit("bg", cost=0.5)
+    done = []
+    sim.schedule(0.01, lambda: server.submit(
+        "urgent", cost=0.005, action=lambda job: done.append(sim.now)))
+    sim.run(until=1.0)
+    assert done and done[0] < 0.02
+
+
+def test_periodic_tasks_unharmed_by_server_load():
+    sim, cpu, server = build(budget=0.01, period=0.1)
+    cpu.add_task(Task("rt", period=0.05, wcet=0.02))
+    for index in range(50):
+        sim.schedule(0.01 * index, server.submit, f"j{index}", 0.005)
+    sim.run(until=1.0)
+    assert cpu.deadline_misses == 0
+
+
+def test_stop_clears_queue():
+    sim, cpu, server = build(budget=0.005, period=0.1)
+    for index in range(5):
+        server.submit(f"j{index}", cost=0.004)
+    server.stop()
+    count = cpu.jobs_completed
+    sim.run(until=1.0)
+    # Only the job already released before stop() runs.
+    assert cpu.jobs_completed <= count + 1
+    assert server.backlog == 0
+
+
+def test_utilization_property():
+    _sim, _cpu, server = build(budget=0.02, period=0.1)
+    assert server.utilization == pytest.approx(0.2)

@@ -1,0 +1,228 @@
+"""Unit tests for distance-constrained (pinwheel) scheduling."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidTaskError, NotSchedulableError
+from repro.sched.dcs import (
+    CyclicExecutive,
+    DistanceConstrainedScheduler,
+    build_timetable,
+    specialize_sa,
+    specialize_sr,
+    specialize_sx,
+)
+from repro.sched.phase_variance import phase_variance
+from repro.sched.task import Task
+from repro.sim.engine import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Specialisation transforms
+# ---------------------------------------------------------------------------
+
+
+def test_sa_collapses_to_minimum():
+    assert specialize_sa([0.3, 0.1, 0.25]) == [0.1, 0.1, 0.1]
+
+
+def test_sx_rounds_down_to_power_of_two_multiples():
+    assert specialize_sx([0.1, 0.25, 0.4, 0.85]) == pytest.approx(
+        [0.1, 0.2, 0.4, 0.8])
+
+
+def test_sx_identity_on_already_harmonic():
+    assert specialize_sx([0.1, 0.2, 0.4]) == pytest.approx([0.1, 0.2, 0.4])
+
+
+def test_sx_never_increases_and_within_factor_two():
+    distances = [0.11, 0.19, 0.23, 0.57, 1.01]
+    specialised = specialize_sx(distances)
+    for original, new in zip(distances, specialised):
+        assert new <= original + 1e-12
+        assert new > original / 2.0 - 1e-12
+
+
+def test_sx_rejects_distance_below_base():
+    with pytest.raises(InvalidTaskError):
+        specialize_sx([0.2, 0.3], base=0.25)
+
+
+def test_sr_beats_or_matches_sx_density():
+    distances = [0.15, 0.19, 0.4]
+    wcets = [0.02, 0.02, 0.05]
+    sx = specialize_sx(distances)
+    density_sx = sum(e / c for e, c in zip(wcets, sx))
+    _sr, density_sr = specialize_sr(distances, wcets)
+    assert density_sr <= density_sx + 1e-12
+
+
+def test_sr_output_is_harmonic():
+    specialised, _density = specialize_sr([0.13, 0.29, 0.55, 1.3],
+                                          [0.01, 0.01, 0.01, 0.01])
+    base = min(specialised)
+    for value in specialised:
+        ratio = value / base
+        assert 2 ** round(math.log2(ratio)) == pytest.approx(ratio)
+
+
+def test_sr_infeasible_raises():
+    with pytest.raises(NotSchedulableError):
+        specialize_sr([0.1, 0.1], [0.09, 0.09])
+
+
+def test_empty_distances_rejected():
+    with pytest.raises(InvalidTaskError):
+        specialize_sa([])
+
+
+@given(st.lists(st.floats(min_value=0.05, max_value=2.0), min_size=1,
+                max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_sx_properties_hold_for_random_distances(distances):
+    specialised = specialize_sx(distances)
+    base = min(distances)
+    for original, new in zip(distances, specialised):
+        assert new <= original + 1e-9            # never relax the constraint
+        assert new > original / 2.0 - 1e-9       # at most factor-2 tighter
+        ratio = new / base
+        assert 2 ** round(math.log2(ratio)) == pytest.approx(ratio)
+
+
+# ---------------------------------------------------------------------------
+# Timetable construction
+# ---------------------------------------------------------------------------
+
+
+def _expand_intervals(entries, horizon):
+    intervals = []
+    for entry in entries:
+        k = 0
+        while k * entry.period < horizon:
+            for fragment_start, fragment_length in entry.fragments:
+                start = fragment_start + k * entry.period
+                intervals.append((start, start + fragment_length, entry.name))
+            k += 1
+    return sorted(intervals)
+
+
+def test_timetable_is_collision_free():
+    entries = build_timetable(["a", "b", "c"], [0.02, 0.03, 0.05],
+                              [0.1, 0.2, 0.4])
+    intervals = _expand_intervals(entries, 0.8)
+    for (s1, e1, _n1), (s2, _e2, _n2) in zip(intervals, intervals[1:]):
+        assert e1 <= s2 + 1e-9
+
+
+def test_timetable_full_density_feasible():
+    # e/c' = 0.5 + 0.25 + 0.25 = 1.0 exactly.
+    entries = build_timetable(["a", "b", "c"], [0.05, 0.05, 0.1],
+                              [0.1, 0.2, 0.4])
+    intervals = _expand_intervals(entries, 0.4)
+    busy = sum(end - start for start, end, _name in intervals)
+    assert busy == pytest.approx(0.4)
+
+
+def test_timetable_overfull_raises():
+    with pytest.raises(NotSchedulableError):
+        build_timetable(["a", "b"], [0.06, 0.06], [0.1, 0.1])
+
+
+def test_timetable_wcet_exceeding_period_raises():
+    with pytest.raises(NotSchedulableError):
+        build_timetable(["a"], [0.2], [0.1])
+
+
+def test_timetable_input_length_mismatch():
+    with pytest.raises(InvalidTaskError):
+        build_timetable(["a"], [0.01, 0.02], [0.1])
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_timetable_random_harmonic_sets(n, seed):
+    import random
+    rng = random.Random(seed)
+    base = 0.1
+    periods = [base * (2 ** rng.randint(0, 3)) for _ in range(n)]
+    # Draw wcets keeping density <= 1.
+    budget = 1.0
+    wcets = []
+    for period in periods:
+        share = rng.uniform(0.01, budget / n)
+        wcets.append(max(1e-4, share * period))
+    names = [f"t{i}" for i in range(n)]
+    density = sum(e / c for e, c in zip(wcets, periods))
+    if density > 1.0:
+        return  # not a feasibility claim for this draw
+    entries = build_timetable(names, wcets, periods)
+    intervals = _expand_intervals(entries, max(periods) * 2)
+    for (s1, e1, _), (s2, _e2, _) in zip(intervals, intervals[1:]):
+        assert e1 <= s2 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Cyclic executive: Theorem 3 (zero phase variance)
+# ---------------------------------------------------------------------------
+
+
+def test_cyclic_executive_zero_phase_variance():
+    tasks = [Task("x", period=0.1, wcet=0.02),
+             Task("y", period=0.3, wcet=0.05),
+             Task("z", period=0.45, wcet=0.04)]
+    scheduler = DistanceConstrainedScheduler(tasks, scheme="sr")
+    sim = Simulator()
+    executive = scheduler.start(sim)
+    sim.run(until=5.0)
+    for name, period in scheduler.effective_periods.items():
+        variance = phase_variance(executive.finish_times[name], period)
+        assert variance == pytest.approx(0.0, abs=1e-9)
+
+
+def test_effective_periods_never_exceed_originals():
+    tasks = [Task("a", period=0.13, wcet=0.01),
+             Task("b", period=0.55, wcet=0.02)]
+    scheduler = DistanceConstrainedScheduler(tasks, scheme="sr")
+    for task in tasks:
+        assert scheduler.effective_periods[task.name] <= task.period + 1e-12
+
+
+def test_feasibility_condition_reported():
+    tasks = [Task("a", period=0.1, wcet=0.01)]
+    scheduler = DistanceConstrainedScheduler(tasks)
+    assert scheduler.feasible_by_condition
+
+
+def test_dcs_actions_fire_at_finish_instants():
+    fired = []
+    tasks = [Task("a", period=0.1, wcet=0.02,
+                  action=lambda slot: fired.append(slot.finish_time))]
+    scheduler = DistanceConstrainedScheduler(tasks, scheme="sx")
+    sim = Simulator()
+    scheduler.start(sim)
+    sim.run(until=0.55)
+    # Finishes at 0.02, 0.12, ..., 0.52: six firings, exactly 0.1 apart.
+    assert len(fired) == 6
+    gaps = [b - a for a, b in zip(fired, fired[1:])]
+    for gap in gaps:
+        assert gap == pytest.approx(0.1)
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(InvalidTaskError):
+        DistanceConstrainedScheduler([Task("a", 0.1, 0.01)], scheme="bogus")
+
+
+def test_executive_stop_halts():
+    tasks = [Task("a", period=0.1, wcet=0.02)]
+    scheduler = DistanceConstrainedScheduler(tasks)
+    sim = Simulator()
+    executive = scheduler.start(sim)
+    sim.run(until=0.35)
+    executive.stop()
+    count = len(executive.finish_times["a"])
+    sim.run(until=1.0)
+    assert len(executive.finish_times["a"]) == count

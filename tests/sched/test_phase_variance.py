@@ -1,0 +1,161 @@
+"""Phase-variance measurement and the paper's bounds (Definitions 1-2,
+Inequality 2.1, Theorems 2-3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidTaskError
+from repro.sched.edf import EDFScheduler
+from repro.sched.phase_variance import (
+    PhaseVarianceBounds,
+    compressed_period,
+    kth_phase_variances,
+    phase_variance,
+)
+from repro.sched.processor import Processor
+from repro.sched.rm import RateMonotonicScheduler
+from repro.sched.task import Task
+from repro.sim.engine import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+
+def test_kth_variances_definition():
+    finishes = [0.0, 0.1, 0.25, 0.3]
+    assert kth_phase_variances(finishes, 0.1) == pytest.approx(
+        [0.0, 0.05, 0.05])
+
+
+def test_phase_variance_is_max():
+    finishes = [0.0, 0.1, 0.25, 0.3]
+    assert phase_variance(finishes, 0.1) == pytest.approx(0.05)
+
+
+def test_fewer_than_two_finishes_gives_zero():
+    assert phase_variance([], 0.1) == 0.0
+    assert phase_variance([0.5], 0.1) == 0.0
+
+
+def test_nonpositive_period_rejected():
+    with pytest.raises(InvalidTaskError):
+        phase_variance([0.0, 0.1], 0.0)
+
+
+def test_exactly_periodic_finishes_have_zero_variance():
+    finishes = [0.02 + 0.1 * k for k in range(50)]
+    assert phase_variance(finishes, 0.1) == pytest.approx(0.0, abs=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Bounds
+# ---------------------------------------------------------------------------
+
+
+def test_generic_bound_is_period_minus_wcet():
+    assert PhaseVarianceBounds.generic(0.1, 0.02) == pytest.approx(0.08)
+
+
+def test_edf_bound_formula():
+    assert PhaseVarianceBounds.edf(0.1, 0.02, 0.5) == pytest.approx(0.03)
+
+
+def test_rm_bound_formula():
+    n = 2
+    bound = PhaseVarianceBounds.rm(0.1, 0.01, 0.5, n)
+    expected = 0.5 * 0.1 / (2 * (2 ** 0.5 - 1)) - 0.01
+    assert bound == pytest.approx(expected)
+
+
+def test_bounds_clamped_at_zero():
+    assert PhaseVarianceBounds.edf(0.1, 0.09, 0.5) == 0.0
+
+
+def test_dcs_bound_is_zero():
+    assert PhaseVarianceBounds.dcs() == 0.0
+
+
+def test_bound_validation():
+    with pytest.raises(InvalidTaskError):
+        PhaseVarianceBounds.generic(0.1, 0.2)
+    with pytest.raises(InvalidTaskError):
+        PhaseVarianceBounds.edf(0.1, 0.02, 1.5)
+    with pytest.raises(InvalidTaskError):
+        PhaseVarianceBounds.rm(0.1, 0.02, 0.5, 0)
+
+
+def test_compressed_period():
+    assert compressed_period(0.2, 0.5) == pytest.approx(0.1)
+    with pytest.raises(InvalidTaskError):
+        compressed_period(0.2, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Empirics: Inequality 2.1 holds for every feasible schedule we generate
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def feasible_task_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    periods = [draw(st.sampled_from([0.05, 0.1, 0.15, 0.2, 0.3, 0.4]))
+               for _ in range(n)]
+    shares = [draw(st.floats(min_value=0.02, max_value=0.9 / n))
+              for _ in range(n)]
+    tasks = [Task(f"t{i}", period=p, wcet=max(1e-4, p * s))
+             for i, (p, s) in enumerate(zip(periods, shares))]
+    return tasks
+
+
+@given(feasible_task_sets(), st.sampled_from(["edf", "rm"]))
+@settings(max_examples=40, deadline=None)
+def test_inequality_2_1_under_priority_schedulers(tasks, which):
+    """Any deadline-meeting schedule keeps v_i <= p_i - e_i."""
+    from repro.sched.analysis import rm_schedulable_exact
+
+    if which == "rm" and not rm_schedulable_exact(tasks):
+        return
+    sim = Simulator()
+    scheduler = EDFScheduler() if which == "edf" else RateMonotonicScheduler()
+    cpu = Processor(sim, scheduler)
+    for task in tasks:
+        cpu.add_task(task)
+    sim.run(until=3.0)
+    if cpu.deadline_misses:
+        return  # the inequality only claims deadline-meeting schedules
+    for task in tasks:
+        finishes = cpu.finish_times[task.name]
+        if len(finishes) < 2:
+            continue
+        measured = phase_variance(finishes, task.period)
+        assert measured <= PhaseVarianceBounds.generic(
+            task.period, task.wcet) + 1e-9
+
+
+def test_theorem2_constructive_schedule_meets_edf_bound():
+    """Compressing periods by x realises v_i <= x p_i - e_i (Theorem 2)."""
+    tasks = [Task("a", period=0.2, wcet=0.01),
+             Task("b", period=0.4, wcet=0.02),
+             Task("c", period=0.8, wcet=0.04)]
+    x = sum(task.utilization for task in tasks)  # 0.15
+    sim = Simulator()
+    cpu = Processor(sim, EDFScheduler())
+    for task in tasks:
+        cpu.add_task(task.scaled(x))
+    sim.run(until=5.0)
+    for task in tasks:
+        finishes = cpu.finish_times[task.name]
+        measured = phase_variance(finishes, task.period)
+        # The compressed schedule's variance w.r.t. the *original* period:
+        # gaps are ~x*p, so v ~ (1-x)p, which the paper's algebra treats as
+        # within x*p - e of feasibility after re-centering on the compressed
+        # period.  We check the rigorous half of the claim: w.r.t. the
+        # compressed period the bound x*p - e holds.
+        compressed = phase_variance(finishes, task.period * x)
+        assert compressed <= PhaseVarianceBounds.edf(
+            task.period, task.wcet, x) + 1e-9
+        assert measured <= PhaseVarianceBounds.generic(
+            task.period, task.wcet) + 1e-9

@@ -1,0 +1,112 @@
+"""Property tests: processor conservation invariants.
+
+Whatever the workload, a single CPU must conserve work: it can never execute
+more than wall-clock time, never finish a job before release + cost, and
+under a feasible periodic load it completes one job per task per period.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.edf import EDFScheduler
+from repro.sched.processor import Processor
+from repro.sched.rm import RateMonotonicScheduler
+from repro.sched.task import Task
+from repro.sim.engine import Simulator
+
+HORIZON = 3.0
+
+
+@st.composite
+def task_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    tasks = []
+    for index in range(n):
+        period = draw(st.sampled_from([0.05, 0.08, 0.1, 0.13, 0.2, 0.35]))
+        share = draw(st.floats(min_value=0.02, max_value=1.2 / n))
+        tasks.append(Task(f"t{index}", period=period,
+                          wcet=max(1e-4, min(period, period * share))))
+    return tasks
+
+
+@given(task_sets(), st.sampled_from(["edf", "rm"]))
+@settings(max_examples=60, deadline=None)
+def test_work_conservation(tasks, policy):
+    sim = Simulator()
+    scheduler = EDFScheduler() if policy == "edf" else RateMonotonicScheduler()
+    cpu = Processor(sim, scheduler)
+    for task in tasks:
+        cpu.add_task(task)
+    sim.run(until=HORIZON)
+    # The CPU cannot do more than HORIZON seconds of work.
+    assert cpu.busy_time <= HORIZON + 1e-9
+    # Completed work equals completed jobs' total cost.
+    total_cost = sum(len(cpu.finish_times[task.name]) * task.wcet
+                     for task in tasks)
+    # busy_time also includes partial work on jobs still in flight.
+    assert cpu.busy_time >= total_cost - 1e-9
+
+
+@given(task_sets(), st.sampled_from(["edf", "rm"]))
+@settings(max_examples=60, deadline=None)
+def test_finish_never_precedes_release_plus_cost(tasks, policy):
+    sim = Simulator()
+    scheduler = EDFScheduler() if policy == "edf" else RateMonotonicScheduler()
+    cpu = Processor(sim, scheduler)
+    for task in tasks:
+        cpu.add_task(task)
+    sim.run(until=HORIZON)
+    for record in sim.trace.select("job_finish"):
+        assert record["finish"] >= record["release"] + 1e-12
+        if record["response"] is not None:
+            assert record["response"] > 0
+
+
+@given(task_sets())
+@settings(max_examples=40, deadline=None)
+def test_feasible_edf_completes_one_job_per_period(tasks):
+    if sum(task.utilization for task in tasks) > 1.0:
+        return  # only a claim for feasible sets
+    sim = Simulator()
+    cpu = Processor(sim, EDFScheduler())
+    for task in tasks:
+        cpu.add_task(task)
+    sim.run(until=HORIZON)
+    assert cpu.deadline_misses == 0
+    for task in tasks:
+        expected = int(HORIZON / task.period)
+        completed = len(cpu.finish_times[task.name])
+        # The final job may still be in flight at the horizon.
+        assert expected - 1 <= completed <= expected + 1
+
+
+@given(task_sets())
+@settings(max_examples=40, deadline=None)
+def test_finish_times_strictly_increase_per_task(tasks):
+    sim = Simulator()
+    cpu = Processor(sim, EDFScheduler())
+    for task in tasks:
+        cpu.add_task(task)
+    sim.run(until=HORIZON)
+    for task in tasks:
+        finishes = cpu.finish_times[task.name]
+        for earlier, later in zip(finishes, finishes[1:]):
+            assert later > earlier
+
+
+@given(st.lists(st.floats(min_value=1e-4, max_value=0.02), min_size=1,
+                max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_aperiodic_jobs_all_complete_in_order_of_submission_fifo(costs):
+    from repro.sched.rm import FIFOScheduler
+
+    sim = Simulator()
+    cpu = Processor(sim, FIFOScheduler())
+    order = []
+    for index, cost in enumerate(costs):
+        cpu.submit(f"j{index}", cost=cost,
+                   action=lambda job, i=index: order.append(i))
+    sim.run(until=10.0)
+    assert order == list(range(len(costs)))
+    assert cpu.busy_time == pytest.approx(sum(costs))

@@ -1,0 +1,105 @@
+"""Unit tests for the task/job model."""
+
+import pytest
+
+from repro.errors import InvalidTaskError
+from repro.sched.task import BAND_BACKGROUND, BAND_REALTIME, Job, Task, TaskSet
+
+
+def test_task_defaults_deadline_to_period():
+    task = Task("t", period=0.1, wcet=0.01)
+    assert task.deadline == 0.1
+
+
+def test_task_utilization():
+    task = Task("t", period=0.2, wcet=0.05)
+    assert task.utilization == pytest.approx(0.25)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(period=0.0, wcet=0.01),
+    dict(period=-1.0, wcet=0.01),
+    dict(period=0.1, wcet=0.0),
+    dict(period=0.1, wcet=-0.5),
+    dict(period=0.1, wcet=0.2),           # wcet > period
+    dict(period=0.1, wcet=0.01, phase=-1.0),
+    dict(period=0.1, wcet=0.01, release_jitter=-0.1),
+    dict(period=0.1, wcet=0.01, deadline=0.0),
+])
+def test_invalid_task_parameters_rejected(kwargs):
+    with pytest.raises(InvalidTaskError):
+        Task("bad", **kwargs)
+
+
+def test_scaled_task_compresses_period_only():
+    task = Task("t", period=0.2, wcet=0.05)
+    compressed = task.scaled(0.5)
+    assert compressed.period == pytest.approx(0.1)
+    assert compressed.wcet == pytest.approx(0.05)
+    assert compressed.deadline == pytest.approx(0.1)
+
+
+def test_scaled_rejects_nonpositive_factor():
+    with pytest.raises(InvalidTaskError):
+        Task("t", period=0.2, wcet=0.05).scaled(0.0)
+
+
+def test_job_response_time():
+    job = Job("j", release_time=1.0, cost=0.5)
+    assert job.response_time is None
+    job.finish_time = 2.5
+    assert job.response_time == pytest.approx(1.5)
+
+
+def test_job_ids_are_unique():
+    a = Job("a", 0.0, 1.0)
+    b = Job("b", 0.0, 1.0)
+    assert a.jid != b.jid
+
+
+def test_taskset_duplicate_name_rejected():
+    taskset = TaskSet([Task("a", 0.1, 0.01)])
+    with pytest.raises(InvalidTaskError):
+        taskset.add(Task("a", 0.2, 0.01))
+
+
+def test_taskset_lookup_and_contains():
+    task = Task("a", 0.1, 0.01)
+    taskset = TaskSet([task])
+    assert "a" in taskset
+    assert taskset["a"] is task
+    with pytest.raises(InvalidTaskError):
+        taskset["missing"]
+
+
+def test_taskset_remove():
+    taskset = TaskSet([Task("a", 0.1, 0.01), Task("b", 0.2, 0.01)])
+    removed = taskset.remove("a")
+    assert removed.name == "a"
+    assert "a" not in taskset
+    assert len(taskset) == 1
+    with pytest.raises(InvalidTaskError):
+        taskset.remove("a")
+
+
+def test_taskset_utilization_sums():
+    taskset = TaskSet([Task("a", 0.1, 0.01), Task("b", 0.2, 0.02)])
+    assert taskset.utilization == pytest.approx(0.2)
+
+
+def test_sorted_by_period_is_rm_order():
+    taskset = TaskSet([Task("slow", 0.4, 0.01), Task("fast", 0.1, 0.01),
+                       Task("mid", 0.2, 0.01)])
+    assert [task.name for task in taskset.sorted_by_period()] == [
+        "fast", "mid", "slow"]
+
+
+def test_taskset_scaled():
+    taskset = TaskSet([Task("a", 0.1, 0.01), Task("b", 0.2, 0.02)])
+    scaled = taskset.scaled(0.5)
+    assert scaled.periods() == pytest.approx([0.05, 0.1])
+    assert scaled.wcets() == pytest.approx([0.01, 0.02])
+
+
+def test_bands_are_distinct():
+    assert BAND_REALTIME < BAND_BACKGROUND

@@ -1,0 +1,178 @@
+"""Unit tests for the simulator engine."""
+
+import pytest
+
+from repro.errors import SimStoppedError, SimTimeError
+from repro.sim.engine import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_and_run_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.5, fired.append, "x")
+    count = sim.run(until=10.0)
+    assert count == 1
+    assert fired == ["x"]
+    assert sim.now == 10.0
+
+
+def test_run_without_until_stops_on_exhaustion():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.now == 1.0
+
+
+def test_events_beyond_until_do_not_fire():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "later")
+    sim.run(until=3.0)
+    assert fired == []
+    assert sim.now == 3.0
+    sim.run(until=6.0)
+    assert fired == ["later"]
+
+
+def test_event_at_exact_until_fires():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "edge")
+    sim.run(until=3.0)
+    assert fired == ["edge"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimTimeError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_nan_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimTimeError):
+        sim.schedule(float("nan"), lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimTimeError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_run_until_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimTimeError):
+        sim.run(until=1.0)
+
+
+def test_callbacks_see_current_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append(("first", sim.now))
+        sim.schedule(1.0, second)
+
+    def second():
+        order.append(("second", sim.now))
+
+    sim.schedule(1.0, first)
+    sim.run(until=5.0)
+    assert order == [("first", 1.0), ("second", 2.0)]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, fired.append, 2)
+    sim.run(until=10.0)
+    assert fired == [1]
+    assert sim.now == 1.0  # stop(): the clock does not jump to `until`
+    # The remaining event survives for a later run.
+    sim.run(until=10.0)
+    assert 2 in fired
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def rearm():
+        sim.schedule(0.001, rearm)
+
+    sim.schedule(0.001, rearm)
+    with pytest.raises(SimTimeError):
+        sim.run(until=1e9, max_events=100)
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run(until=5.0)
+        except SimStoppedError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run(until=2.0)
+    assert len(errors) == 1
+
+
+def test_zero_delay_events_run_in_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(0.0, order.append, "a")
+    sim.schedule(0.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b"]
+
+
+def test_determinism_same_seed_same_trace():
+    def build_and_run(seed):
+        sim = Simulator(seed=seed)
+        values = []
+        rng = sim.random.stream("test")
+
+        def tick(n):
+            values.append((sim.now, rng.random()))
+            if n > 0:
+                sim.schedule(rng.uniform(0.1, 1.0), tick, n - 1)
+
+        sim.schedule(0.1, tick, 20)
+        sim.run(until=100.0)
+        return values
+
+    assert build_and_run(7) == build_and_run(7)
+    assert build_and_run(7) != build_and_run(8)
+
+
+def test_pending_events_count():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    event = sim.schedule(2.0, lambda: None)
+    assert sim.pending_events() == 2
+    event.cancel()
+    assert sim.pending_events() == 1
+
+
+def test_step_returns_false_on_empty():
+    assert Simulator().step() is False

@@ -1,0 +1,95 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimTimeError
+from repro.sim.events import Event, EventQueue
+
+
+def test_push_pop_orders_by_time():
+    queue = EventQueue()
+    fired = []
+    queue.push(3.0, fired.append, ("c",))
+    queue.push(1.0, fired.append, ("a",))
+    queue.push(2.0, fired.append, ("b",))
+    times = []
+    while queue:
+        event = queue.pop()
+        times.append(event.time)
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_same_time_fifo_order():
+    queue = EventQueue()
+    events = [queue.push(1.0, lambda: None) for _ in range(5)]
+    popped = [queue.pop() for _ in range(5)]
+    assert popped == events
+
+
+def test_len_counts_live_events_only():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    first.cancel()
+    assert len(queue) == 1
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    second = queue.push(2.0, lambda: None)
+    first.cancel()
+    assert queue.pop() is second
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(5.0, lambda: None)
+    assert queue.peek_time() == 1.0
+    first.cancel()
+    assert queue.peek_time() == 5.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_pop_empty_raises():
+    with pytest.raises(SimTimeError):
+        EventQueue().pop()
+
+
+def test_bool_false_when_all_cancelled():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    assert queue
+    event.cancel()
+    assert not queue
+
+
+def test_clear_drops_everything():
+    queue = EventQueue()
+    for time in (1.0, 2.0, 3.0):
+        queue.push(time, lambda: None)
+    queue.clear()
+    assert len(queue) == 0
+    assert queue.peek_time() is None
+
+
+def test_event_ordering_operator():
+    early = Event(1.0, 0, lambda: None, ())
+    late = Event(2.0, 1, lambda: None, ())
+    assert early < late
+    tie_a = Event(1.0, 0, lambda: None, ())
+    tie_b = Event(1.0, 1, lambda: None, ())
+    assert tie_a < tie_b
+
+
+def test_double_cancel_is_harmless():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert not queue

@@ -1,0 +1,291 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Signal, Timeout, all_of
+
+
+def test_timeout_advances_time():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield Timeout(1.0)
+        seen.append(sim.now)
+        yield Timeout(2.0)
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run(until=10.0)
+    assert seen == [1.0, 3.0]
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+        return 42
+
+    process = sim.spawn(proc())
+    sim.run(until=2.0)
+    assert not process.alive
+    assert process.result == 42
+
+
+def test_wait_on_signal_receives_value():
+    sim = Simulator()
+    signal = Signal(sim, "data")
+    got = []
+
+    def waiter():
+        value = yield signal
+        got.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.schedule(3.0, signal.trigger, "payload")
+    sim.run(until=10.0)
+    assert got == [(3.0, "payload")]
+
+
+def test_signal_broadcasts_to_all_waiters():
+    sim = Simulator()
+    signal = Signal(sim)
+    got = []
+
+    def waiter(tag):
+        value = yield signal
+        got.append((tag, value))
+
+    for tag in ("a", "b", "c"):
+        sim.spawn(waiter(tag))
+    sim.schedule(1.0, signal.trigger, 99)
+    sim.run(until=2.0)
+    assert sorted(got) == [("a", 99), ("b", 99), ("c", 99)]
+
+
+def test_wait_on_already_fired_signal_resumes_immediately():
+    sim = Simulator()
+    signal = Signal(sim)
+    signal.trigger("early")
+    got = []
+
+    def waiter():
+        value = yield signal
+        got.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.run(until=1.0)
+    assert got == [(0.0, "early")]
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    signal = Signal(sim)
+    signal.trigger()
+    with pytest.raises(SimulationError):
+        signal.trigger()
+
+
+def test_signal_fail_raises_in_waiter():
+    sim = Simulator()
+    signal = Signal(sim)
+    caught = []
+
+    def waiter():
+        try:
+            yield signal
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter())
+    sim.schedule(1.0, signal.fail, ValueError("boom"))
+    sim.run(until=2.0)
+    assert caught == ["boom"]
+
+
+def test_join_process_gets_return_value():
+    sim = Simulator()
+    results = []
+
+    def worker():
+        yield Timeout(2.0)
+        return "done"
+
+    def joiner(worker_process):
+        value = yield worker_process
+        results.append((sim.now, value))
+
+    worker_process = sim.spawn(worker())
+    sim.spawn(joiner(worker_process))
+    sim.run(until=5.0)
+    assert results == [(2.0, "done")]
+
+
+def test_join_failing_process_propagates_exception():
+    sim = Simulator()
+    caught = []
+
+    def bad():
+        yield Timeout(1.0)
+        raise RuntimeError("inner failure")
+
+    def joiner(process):
+        try:
+            yield process
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    process = sim.spawn(bad())
+    sim.spawn(joiner(process))
+    sim.run(until=5.0)
+    assert caught == ["inner failure"]
+    assert isinstance(process.error, RuntimeError)
+
+
+def test_unjoined_process_failure_surfaces():
+    sim = Simulator()
+
+    def bad():
+        yield Timeout(1.0)
+        raise RuntimeError("nobody is watching")
+
+    sim.spawn(bad())
+    with pytest.raises(RuntimeError):
+        sim.run(until=5.0)
+
+
+def test_interrupt_raises_inside_process():
+    sim = Simulator()
+    notes = []
+
+    def sleeper():
+        try:
+            yield Timeout(100.0)
+        except ProcessInterrupt as interrupt:
+            notes.append((sim.now, interrupt.cause))
+
+    process = sim.spawn(sleeper())
+    sim.schedule(2.0, process.interrupt, "wake-up")
+    sim.run(until=10.0)
+    assert notes == [(2.0, "wake-up")]
+
+
+def test_interrupt_cancels_pending_timeout():
+    sim = Simulator()
+    resumed = []
+
+    def sleeper():
+        try:
+            yield Timeout(5.0)
+            resumed.append("timeout")
+        except ProcessInterrupt:
+            resumed.append("interrupt")
+        yield Timeout(100.0)
+
+    process = sim.spawn(sleeper())
+    sim.schedule(1.0, process.interrupt)
+    sim.run(until=20.0)
+    assert resumed == ["interrupt"]
+
+
+def test_uncaught_interrupt_terminates_cleanly():
+    sim = Simulator()
+
+    def sleeper():
+        yield Timeout(100.0)
+
+    process = sim.spawn(sleeper())
+    sim.schedule(1.0, process.interrupt)
+    sim.run(until=10.0)
+    assert not process.alive
+    assert process.error is None
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield Timeout(0.5)
+
+    process = sim.spawn(quick())
+    sim.run(until=1.0)
+    process.interrupt()  # must not raise
+    sim.run(until=2.0)
+
+
+def test_kill_stops_without_running_more_code():
+    sim = Simulator()
+    progress = []
+
+    def stubborn():
+        progress.append("start")
+        yield Timeout(5.0)
+        progress.append("never")
+
+    process = sim.spawn(stubborn())
+    sim.schedule(1.0, process.kill)
+    sim.run(until=10.0)
+    assert progress == ["start"]
+    assert not process.alive
+    assert process.done.fired
+
+
+def test_yield_garbage_fails_loudly():
+    sim = Simulator()
+
+    def bad():
+        yield "not a yieldable"
+
+    process = sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+    assert process.error is not None
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-0.1)
+
+
+def test_all_of_waits_for_everything():
+    sim = Simulator()
+
+    def worker(duration, value):
+        yield Timeout(duration)
+        return value
+
+    processes = [sim.spawn(worker(duration, duration))
+                 for duration in (1.0, 3.0, 2.0)]
+    joined = all_of(sim, processes)
+    seen = []
+
+    def waiter():
+        values = yield joined
+        seen.append((sim.now, values))
+
+    sim.spawn(waiter())
+    sim.run(until=10.0)
+    assert seen == [(3.0, [1.0, 3.0, 2.0])]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    joined = all_of(sim, [])
+    assert joined.fired
+    assert joined.value == []
+
+
+def test_spawn_starts_at_current_time_not_before():
+    sim = Simulator()
+    starts = []
+
+    def proc():
+        starts.append(sim.now)
+        yield Timeout(0.1)
+
+    sim.schedule(4.0, lambda: sim.spawn(proc()))
+    sim.run(until=10.0)
+    assert starts == [4.0]

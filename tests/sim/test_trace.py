@@ -1,0 +1,77 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.engine import Simulator
+
+
+def test_records_are_timestamped():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: sim.trace.record("tick", n=1))
+    sim.run(until=5.0)
+    records = sim.trace.select("tick")
+    assert len(records) == 1
+    assert records[0].time == 2.0
+    assert records[0]["n"] == 1
+
+
+def test_select_filters_on_fields():
+    sim = Simulator()
+    sim.trace.record("write", object=1)
+    sim.trace.record("write", object=2)
+    sim.trace.record("write", object=1)
+    assert len(sim.trace.select("write", object=1)) == 2
+    assert len(sim.trace.select("write", object=3)) == 0
+
+
+def test_get_with_default():
+    sim = Simulator()
+    sim.trace.record("x", a=1)
+    record = sim.trace.select("x")[0]
+    assert record.get("missing") is None
+    assert record.get("missing", 7) == 7
+
+
+def test_enable_only_drops_other_categories():
+    sim = Simulator()
+    sim.trace.enable_only("keep")
+    sim.trace.record("keep", n=1)
+    sim.trace.record("drop", n=2)
+    assert len(sim.trace) == 1
+    assert sim.trace.select("drop") == []
+
+
+def test_enable_all_restores_recording():
+    sim = Simulator()
+    sim.trace.enable_only("keep")
+    sim.trace.record("drop")
+    sim.trace.enable_all()
+    sim.trace.record("drop")
+    assert len(sim.trace.select("drop")) == 1
+
+
+def test_enable_only_empty_drops_everything():
+    sim = Simulator()
+    sim.trace.enable_only()
+    sim.trace.record("anything")
+    assert len(sim.trace) == 0
+
+
+def test_categories_histogram():
+    sim = Simulator()
+    for _ in range(3):
+        sim.trace.record("a")
+    sim.trace.record("b")
+    assert sim.trace.categories() == {"a": 3, "b": 1}
+
+
+def test_clear():
+    sim = Simulator()
+    sim.trace.record("a")
+    sim.trace.clear()
+    assert len(sim.trace) == 0
+
+
+def test_iteration_yields_in_order():
+    sim = Simulator()
+    sim.trace.record("a", i=0)
+    sim.trace.record("b", i=1)
+    assert [record["i"] for record in sim.trace] == [0, 1]

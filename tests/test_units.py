@@ -1,0 +1,47 @@
+"""Unit tests for time units and numeric helpers."""
+
+import math
+
+import pytest
+
+from repro.units import (
+    TIME_INFINITY,
+    approximately,
+    ms,
+    to_ms,
+    us,
+    utilization_bound_rm,
+)
+
+
+def test_ms_round_trip():
+    assert ms(250.0) == pytest.approx(0.25)
+    assert to_ms(0.25) == pytest.approx(250.0)
+    assert to_ms(ms(123.456)) == pytest.approx(123.456)
+
+
+def test_us():
+    assert us(1500.0) == pytest.approx(0.0015)
+
+
+def test_time_infinity():
+    assert TIME_INFINITY == math.inf
+
+
+def test_approximately():
+    assert approximately(0.1 + 0.2, 0.3)
+    assert not approximately(0.1, 0.2)
+    assert approximately(1e12 + 1.0, 1e12, tolerance=1e-9)
+
+
+def test_utilization_bound_monotone_decreasing():
+    bounds = [utilization_bound_rm(n) for n in range(1, 20)]
+    assert bounds[0] == pytest.approx(1.0)
+    for earlier, later in zip(bounds, bounds[1:]):
+        assert later < earlier
+    assert bounds[-1] > math.log(2)
+
+
+def test_utilization_bound_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        utilization_bound_rm(0)

@@ -1,0 +1,49 @@
+"""Unit tests for the synthetic environment."""
+
+import struct
+
+from repro.workload.environment import EnvironmentModel
+
+
+def test_values_are_deterministic():
+    a = EnvironmentModel(seed=1)
+    b = EnvironmentModel(seed=1)
+    for object_id in range(5):
+        for t in (0.0, 0.123, 7.5):
+            assert a.value(object_id, t) == b.value(object_id, t)
+
+
+def test_different_seeds_differ():
+    a = EnvironmentModel(seed=1)
+    b = EnvironmentModel(seed=2)
+    assert a.value(0, 1.0) != b.value(0, 1.0)
+
+
+def test_different_objects_differ():
+    env = EnvironmentModel(seed=1)
+    assert env.value(0, 1.0) != env.value(1, 1.0)
+
+
+def test_signal_varies_over_time():
+    env = EnvironmentModel(seed=1)
+    samples = {round(env.value(0, t), 9) for t in
+               (0.0, 0.1, 0.2, 0.3, 0.4)}
+    assert len(samples) > 1
+
+
+def test_sample_respects_size_exactly():
+    env = EnvironmentModel(seed=1)
+    for size in (1, 8, 16, 64, 1000):
+        assert len(env.sample(0, 1.0, size)) == size
+
+
+def test_sample_embeds_value_for_full_sizes():
+    env = EnvironmentModel(seed=1)
+    sample = env.sample(3, 2.5, 64)
+    (value,) = struct.unpack("!d", sample[:8])
+    assert value == env.value(3, 2.5)
+
+
+def test_sample_padding_is_deterministic():
+    env = EnvironmentModel(seed=1)
+    assert env.sample(0, 1.0, 256) == env.sample(0, 1.0, 256)

@@ -1,0 +1,63 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.units import ms
+from repro.workload.generator import (
+    homogeneous_specs,
+    mixed_specs,
+    spec_for_window,
+)
+
+
+def test_spec_for_window_maps_window_exactly():
+    spec = spec_for_window(3, window=ms(200), client_period=ms(100))
+    assert spec.object_id == 3
+    assert spec.window == pytest.approx(ms(200))
+    # δ^P carries half a period of headroom over the client period (see
+    # the generator's docstring).
+    assert spec.delta_primary == pytest.approx(ms(150))
+    assert spec.client_period == pytest.approx(ms(100))
+
+
+def test_spec_for_window_validation():
+    with pytest.raises(ReplicationError):
+        spec_for_window(0, window=0.0, client_period=ms(100))
+
+
+def test_homogeneous_specs_count_and_ids():
+    specs = homogeneous_specs(5, window=ms(100), client_period=ms(50),
+                              start_id=10)
+    assert len(specs) == 5
+    assert [spec.object_id for spec in specs] == list(range(10, 15))
+    assert all(spec.window == pytest.approx(ms(100)) for spec in specs)
+
+
+def test_homogeneous_specs_zero_count():
+    assert homogeneous_specs(0, window=ms(100), client_period=ms(50)) == []
+
+
+def test_homogeneous_specs_negative_rejected():
+    with pytest.raises(ReplicationError):
+        homogeneous_specs(-1, window=ms(100), client_period=ms(50))
+
+
+def test_mixed_specs_deterministic():
+    a = mixed_specs(10, windows=[ms(100), ms(200)],
+                    client_periods=[ms(50), ms(100)], seed=3)
+    b = mixed_specs(10, windows=[ms(100), ms(200)],
+                    client_periods=[ms(50), ms(100)], seed=3)
+    assert a == b
+
+
+def test_mixed_specs_actually_mixes():
+    specs = mixed_specs(30, windows=[ms(100), ms(200), ms(400)],
+                        client_periods=[ms(50), ms(100)], seed=1)
+    windows = {round(spec.window, 6) for spec in specs}
+    assert len(windows) > 1
+
+
+def test_mixed_specs_empty_choices_rejected():
+    with pytest.raises(ReplicationError):
+        mixed_specs(5, windows=[], client_periods=[ms(50)])

@@ -1,0 +1,57 @@
+"""Unit tests for scenario building."""
+
+import pytest
+
+from repro.core.spec import SchedulingMode
+from repro.net.link import BernoulliLoss, NoLoss
+from repro.units import ms
+from repro.workload.scenarios import Scenario, build_scenario
+
+
+def test_default_scenario_builds_and_runs():
+    service = build_scenario(Scenario(n_objects=2, horizon=2.0))
+    service.run(2.0)
+    assert len(service.registered_specs()) == 2
+    assert service.trace.select("primary_write")
+
+
+def test_loss_model_selection():
+    assert isinstance(Scenario(loss_probability=0.0).loss_model(), NoLoss)
+    model = Scenario(loss_probability=0.1).loss_model()
+    assert isinstance(model, BernoulliLoss)
+    assert model.probability == 0.1
+
+
+def test_config_reflects_scenario_knobs():
+    scenario = Scenario(scheduling_mode=SchedulingMode.COMPRESSED,
+                        admission_enabled=False, slack_factor=3.0,
+                        ell=ms(10))
+    config = scenario.config()
+    assert config.scheduling_mode is SchedulingMode.COMPRESSED
+    assert not config.admission_enabled
+    assert config.slack_factor == 3.0
+    assert config.ell == ms(10)
+
+
+def test_ping_misses_scale_with_loss():
+    clean = Scenario(loss_probability=0.0)._ping_misses_for_loss()
+    light = Scenario(loss_probability=0.02)._ping_misses_for_loss()
+    heavy = Scenario(loss_probability=0.10)._ping_misses_for_loss()
+    assert clean < light <= heavy
+    # The promise behind the scaling: false-positive probability per round
+    # stays below 1e-8.
+    q = 1.0 - 0.9 ** 2
+    assert q ** heavy <= 1e-8
+
+
+def test_admission_disabled_accepts_oversubscription():
+    scenario = Scenario(n_objects=80, window=ms(100),
+                        admission_enabled=False, horizon=1.0)
+    service = build_scenario(scenario)
+    assert len(service.registered_specs()) == 80
+
+
+def test_admission_enabled_caps_population():
+    scenario = Scenario(n_objects=80, window=ms(100), horizon=1.0)
+    service = build_scenario(scenario)
+    assert len(service.registered_specs()) < 80

@@ -1,0 +1,94 @@
+"""Unit tests for protocol-graph composition."""
+
+import pytest
+
+from repro.errors import ProtocolGraphError
+from repro.sim.engine import Simulator
+from repro.xkernel.graph import ProtocolGraph
+from repro.xkernel.protocol import Protocol
+
+
+class StubProtocol(Protocol):
+    pass
+
+
+def make_factory(sim, record):
+    def factory(name, **context):
+        record.append(name)
+        return StubProtocol(sim, name)
+
+    return factory
+
+
+def test_build_is_bottom_up():
+    sim = Simulator()
+    order = []
+    factory = make_factory(sim, order)
+    graph = ProtocolGraph({"top": ["mid"], "mid": ["bottom"], "bottom": []},
+                          {"top": factory, "mid": factory, "bottom": factory})
+    graph.build()
+    assert order.index("bottom") < order.index("mid") < order.index("top")
+
+
+def test_edges_are_wired():
+    sim = Simulator()
+    factory = make_factory(sim, [])
+    graph = ProtocolGraph({"top": ["bottom"], "bottom": []},
+                          {"top": factory, "bottom": factory})
+    protocols = graph.build()
+    assert protocols["top"].down is protocols["bottom"]
+
+
+def test_unknown_factory_rejected():
+    with pytest.raises(ProtocolGraphError):
+        ProtocolGraph({"top": []}, {})
+
+
+def test_undeclared_dependency_rejected():
+    sim = Simulator()
+    factory = make_factory(sim, [])
+    with pytest.raises(ProtocolGraphError):
+        ProtocolGraph({"top": ["ghost"]}, {"top": factory})
+
+
+def test_cycle_rejected():
+    sim = Simulator()
+    factory = make_factory(sim, [])
+    with pytest.raises(ProtocolGraphError):
+        ProtocolGraph({"a": ["b"], "b": ["a"]},
+                      {"a": factory, "b": factory})
+
+
+def test_self_cycle_rejected():
+    sim = Simulator()
+    factory = make_factory(sim, [])
+    with pytest.raises(ProtocolGraphError):
+        ProtocolGraph({"a": ["a"]}, {"a": factory})
+
+
+def test_getitem_before_build_raises():
+    sim = Simulator()
+    factory = make_factory(sim, [])
+    graph = ProtocolGraph({"a": []}, {"a": factory})
+    with pytest.raises(ProtocolGraphError):
+        graph["a"]
+
+
+def test_diamond_graph_builds_once_per_protocol():
+    sim = Simulator()
+    order = []
+    factory = make_factory(sim, order)
+    graph = ProtocolGraph(
+        {"top": ["left", "right"], "left": ["base"], "right": ["base"],
+         "base": []},
+        {name: factory for name in ("top", "left", "right", "base")})
+    protocols = graph.build()
+    assert order.count("base") == 1
+    assert len(protocols["top"].below) == 2
+
+
+def test_protocol_without_lower_raises_on_down():
+    sim = Simulator()
+    orphan = StubProtocol(sim, "orphan")
+    with pytest.raises(ProtocolGraphError):
+        orphan.down
