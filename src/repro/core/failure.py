@@ -43,6 +43,11 @@ class PingManager:
         self.send = send
         self.on_peer_dead = on_peer_dead
         self.name = name
+        #: Local timer drift: virtual delays are multiplied by this factor
+        #: (>1 = a slow clock pings late, <1 = a fast clock pings early).
+        #: The fault subsystem's clock-drift injector sets it; 1.0 is a
+        #: perfect clock.
+        self.clock_scale = 1.0
         self.peer_alive = True
         self.pings_sent = 0
         self.acks_received = 0
@@ -92,8 +97,9 @@ class PingManager:
         self.pings_sent += 1
         self.send(encode_message(PingMsg(role=self.role, seq=self._seq,
                                          send_time=self.sim.now)))
-        self._timer = self.sim.schedule(self.config.ping_timeout,
-                                        self._check, self._seq)
+        self._timer = self.sim.schedule(
+            self.config.ping_timeout * self.clock_scale,
+            self._check, self._seq)
 
     def _check(self, seq: int) -> None:
         if not self._running:
@@ -104,7 +110,8 @@ class PingManager:
             # elapsed, so wait only the remainder.
             remainder = max(0.0,
                             self.config.ping_period - self.config.ping_timeout)
-            self._timer = self.sim.schedule(remainder, self._next_round)
+            self._timer = self.sim.schedule(remainder * self.clock_scale,
+                                            self._next_round)
             return
         self.misses += 1
         self.sim.trace.record("ping_miss", who=self.name, misses=self.misses)
@@ -122,10 +129,22 @@ class PingManager:
 
 
 class CrashInjector:
-    """Schedules crash failures for the evaluation and the failure tests."""
+    """Schedules crash (and recovery) failures for evaluation and tests.
 
-    def __init__(self, sim: Simulator) -> None:
+    Crash-only scripts model the paper's fail-stop assumption; the
+    ``recover_*`` methods script the other half of a crash→recover cycle:
+    the machine reboots and rejoins the replica group as a spare, to be
+    re-recruited through the Section 4.4 recruitment path.
+    """
+
+    def __init__(self, sim: Simulator,
+                 on_recover: Optional[Callable[["ReplicaServer"], None]] = None
+                 ) -> None:
         self.sim = sim
+        #: Called after a scheduled recovery actually revives a server —
+        #: the deployment uses it to announce the rebooted host to the
+        #: current primary (a reboot nobody hears about is never recruited).
+        self.on_recover = on_recover
 
     def crash_at(self, time: float, server: "ReplicaServer") -> None:
         """Crash ``server`` at absolute virtual ``time``."""
@@ -134,3 +153,26 @@ class CrashInjector:
     def crash_after(self, delay: float, server: "ReplicaServer") -> None:
         """Crash ``server`` after ``delay`` seconds."""
         self.sim.schedule(delay, server.crash)
+
+    def recover_at(self, time: float, server: "ReplicaServer") -> None:
+        """Bring ``server`` back (as a spare) at absolute virtual ``time``."""
+        self.sim.schedule_at(time, self._recover, server)
+
+    def recover_after(self, delay: float, server: "ReplicaServer") -> None:
+        """Bring ``server`` back (as a spare) after ``delay`` seconds."""
+        self.sim.schedule(delay, self._recover, server)
+
+    def _recover(self, server: "ReplicaServer") -> None:
+        was_down = not server.alive
+        server.recover()
+        if was_down and self.on_recover is not None:
+            self.on_recover(server)
+
+    def crash_for(self, time: float, outage: float,
+                  server: "ReplicaServer") -> None:
+        """Script a full crash→recover cycle: down at ``time``, back up
+        ``outage`` seconds later."""
+        if outage <= 0:
+            raise ValueError(f"outage must be > 0, got {outage}")
+        self.crash_at(time, server)
+        self.recover_at(time + outage, server)

@@ -16,7 +16,7 @@ One class plays every role in the paper's deployment:
 Trace categories: ``client_response``, ``client_write_rejected``,
 ``primary_write``, ``backup_apply``, ``backup_apply_stale``, ``retx_request``,
 ``registration``, ``registration_replicated``, ``server_crash``,
-``failover``, ``backup_lost``, ``recruited``.
+``server_recover``, ``failover``, ``backup_lost``, ``recruited``.
 """
 
 from __future__ import annotations
@@ -44,7 +44,8 @@ from repro.core.rtpb_protocol import (
 )
 from repro.core.spec import InterObjectConstraint, ObjectSpec, ServiceConfig
 from repro.core.update_scheduler import UpdateTransmitter
-from repro.errors import MessageFormatError, NotPrimaryError, ReplicationError
+from repro.errors import (MessageFormatError, NoRouteError, NotPrimaryError,
+                          ReplicationError)
 from repro.net.ip import Host
 from repro.sched.edf import EDFScheduler
 from repro.sched.processor import Processor
@@ -116,6 +117,9 @@ class ReplicaServer:
         self._last_update_at: Dict[int, float] = {}
         self._watchdog_running = False
         self._recruiting = False
+        #: Local timer drift factor shared with the ping manager; the fault
+        #: subsystem's clock-drift injector sets it via :meth:`set_clock_scale`.
+        self._timer_scale = 1.0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -145,6 +149,51 @@ class ReplicaServer:
         self._watchdog_running = False
         self.sim.trace.record("server_crash", server=self.host.name,
                               role=self.role.value)
+
+    def recover(self) -> None:
+        """Reboot after a crash and rejoin the group as a SPARE.
+
+        Memory (the object store) survives — the host is a warm spare whose
+        stale versions are refreshed by the recruitment state transfer; the
+        sequence-number guard in :meth:`ObjectStore.apply_update` makes the
+        refresh safe.  It cannot resume its old role: the name file may have
+        moved while it was down, so it waits to be recruited (Section 4.4).
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.host.recover()
+        self.role = Role.SPARE
+        self.peer_address = None
+        self._recruiting = False
+        self._register_acked.clear()
+        self.sim.trace.record("server_recover", server=self.host.name)
+
+    def notice_spare(self, address: int) -> None:
+        """Learn that a spare host is available at ``address``.
+
+        A primary missing its backup restarts recruitment immediately —
+        the earlier attempt may have given up while the spare was down.
+        """
+        if address != self.host.address and address not in self.spare_addresses:
+            self.spare_addresses.append(address)
+        if (self.role is Role.PRIMARY and self.alive
+                and self.peer_address is None):
+            self._recruiting = False
+            self._recruit_backup()
+
+    def set_clock_scale(self, scale: float) -> None:
+        """Apply bounded clock drift to this replica's local timers.
+
+        Scales the heartbeat and watchdog delays: ``scale > 1`` is a slow
+        clock (late pings, late retransmission sweeps), ``scale < 1`` a fast
+        one.  Client write periods and CPU costs are unaffected — drift
+        models a skewed timer interrupt, not a slower machine.
+        """
+        if scale <= 0:
+            raise ReplicationError(f"clock scale must be > 0: {scale}")
+        self._timer_scale = scale
+        self.ping.clock_scale = scale
 
     # ------------------------------------------------------------------
     # Client interface (Mach-IPC-style local RPC)
@@ -320,25 +369,31 @@ class ReplicaServer:
             self.sim.trace.record("rtpb_garbled", server=self.host.name)
             return
         source_address = source[0]
-        if isinstance(message, UpdateMsg):
-            self._handle_update(message)
-        elif isinstance(message, PingMsg):
-            self.endpoint.send(source_address, RTPB_PORT,
-                               self.ping.make_ack(message))
-        elif isinstance(message, PingAckMsg):
-            self.ping.handle_ack(message)
-        elif isinstance(message, RetxRequestMsg):
-            self._handle_retx_request(message)
-        elif isinstance(message, RegisterMsg):
-            self._handle_register(message, source_address)
-        elif isinstance(message, RegisterAckMsg):
-            self._handle_register_ack(message, source_address)
-        elif isinstance(message, RecruitMsg):
-            self._handle_recruit(message, source_address)
-        elif isinstance(message, RecruitAckMsg):
-            self._handle_recruit_ack(message)
-        elif isinstance(message, UpdateAckMsg):
-            self._on_update_ack(message)
+        try:
+            if isinstance(message, UpdateMsg):
+                self._handle_update(message)
+            elif isinstance(message, PingMsg):
+                self.endpoint.send(source_address, RTPB_PORT,
+                                   self.ping.make_ack(message))
+            elif isinstance(message, PingAckMsg):
+                self.ping.handle_ack(message)
+            elif isinstance(message, RetxRequestMsg):
+                self._handle_retx_request(message)
+            elif isinstance(message, RegisterMsg):
+                self._handle_register(message, source_address)
+            elif isinstance(message, RegisterAckMsg):
+                self._handle_register_ack(message, source_address)
+            elif isinstance(message, RecruitMsg):
+                self._handle_recruit(message, source_address)
+            elif isinstance(message, RecruitAckMsg):
+                self._handle_recruit_ack(message)
+            elif isinstance(message, UpdateAckMsg):
+                self._on_update_ack(message)
+        except NoRouteError:
+            # A corrupted wire header can yield a source address no host
+            # owns; a reply aimed there is a dropped packet, not a fault
+            # in this server.
+            self.sim.trace.record("rtpb_garbled", server=self.host.name)
 
     # -- backup side ------------------------------------------------------
 
@@ -380,14 +435,20 @@ class ReplicaServer:
                          source_address: int) -> None:
         if self.role is not Role.BACKUP:
             return
-        spec = ObjectSpec(
-            object_id=message.object_id,
-            name=f"obj-{message.object_id}",
-            size_bytes=message.size_bytes,
-            client_period=message.client_period,
-            delta_primary=message.delta_primary,
-            delta_backup=message.delta_backup)
-        self.store.register(spec, update_period=message.update_period)
+        if message.object_id in self.store:
+            # Already known (a recovered replica being re-recruited, or a
+            # REGISTER retry): refresh the period, keep the stored history.
+            self.store.get(message.object_id).update_period = \
+                message.update_period
+        else:
+            spec = ObjectSpec(
+                object_id=message.object_id,
+                name=f"obj-{message.object_id}",
+                size_bytes=message.size_bytes,
+                client_period=message.client_period,
+                delta_primary=message.delta_primary,
+                delta_backup=message.delta_backup)
+            self.store.register(spec, update_period=message.update_period)
         self._last_update_at.setdefault(message.object_id, self.sim.now)
         self.endpoint.send(source_address, RTPB_PORT, encode_message(
             RegisterAckMsg(object_id=message.object_id, accepted=True)))
@@ -426,7 +487,7 @@ class ReplicaServer:
                 self._last_update_at[record.spec.object_id] = now
         interval = (shortest_period / 2.0 if shortest_period is not None
                     else self.config.ping_period)
-        self.sim.schedule(interval, self._watchdog_sweep)
+        self.sim.schedule(interval * self._timer_scale, self._watchdog_sweep)
 
     def _request_retransmission(self, object_id: int) -> None:
         if self.peer_address is None:

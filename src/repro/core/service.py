@@ -53,7 +53,8 @@ class RTPBService:
             delay_min=self.config.link_delay_min, loss_model=loss_model)
         self.name_service = NameService(self.sim)
         self.environment = EnvironmentModel(seed=seed)
-        self.injector = CrashInjector(self.sim)
+        self.injector = CrashInjector(self.sim,
+                                      on_recover=self._announce_recovered)
 
         spare_addresses = [FIRST_SPARE_ADDRESS + index
                            for index in range(n_spares)]
@@ -161,6 +162,12 @@ class RTPBService:
 
     def resolve_server(self, address: int) -> Optional[ReplicaServer]:
         return self.servers.get(address)
+
+    def _announce_recovered(self, server: ReplicaServer) -> None:
+        """Tell live primaries a rebooted host is available as a spare."""
+        for other in self.servers.values():
+            if other.alive and other.role is Role.PRIMARY:
+                other.notice_spare(server.host.address)
 
     def current_primary(self) -> ReplicaServer:
         """The live server currently playing the primary role."""

@@ -5,6 +5,12 @@ metric the figures consume.  Tracing is restricted to the categories the
 collectors need (``METRIC_TRACE_CATEGORIES``), which keeps long sweeps fast
 and memory-bounded; pass ``full_trace=True`` when a test wants to inspect
 scheduler-level events too.
+
+Chaos runs ride the same entry point: pass a
+:class:`~repro.faults.schedule.FaultSchedule` and the faults fire at their
+virtual times during the run, with an optional online
+:class:`~repro.faults.monitor.InvariantMonitor` attached (it subscribes to
+the tracer, so the storage filter does not blind it).
 """
 
 from __future__ import annotations
@@ -33,10 +39,13 @@ METRIC_TRACE_CATEGORIES = (
     "retx_request",
     "registration",
     "server_crash",
+    "server_recover",
     "failover",
     "recruited",
     "peer_declared_dead",
     "client_activated",
+    "fault_injected",
+    "invariant_violation",
 )
 
 
@@ -57,6 +66,9 @@ class RunResult:
     avg_inconsistency: float
     #: Fraction of transmitted updates applied at the backup.
     delivery_rate: float
+    #: Set on chaos runs: the armed injector and the online monitor.
+    injector: Optional["FaultInjector"] = None
+    monitor: Optional["InvariantMonitor"] = None
 
     @property
     def mean_response(self) -> float:
@@ -64,18 +76,38 @@ class RunResult:
 
 
 def run_scenario(scenario: Scenario, warmup: float = 2.0,
-                 full_trace: bool = False) -> RunResult:
+                 full_trace: bool = False,
+                 fault_schedule: Optional["FaultSchedule"] = None,
+                 monitor: bool = False) -> RunResult:
     """Build the scenario's deployment, run it, and collect metrics.
 
     ``warmup`` seconds at the head of the run are excluded from every
     metric (registration, first transmissions, and watchdog priming are
-    transient).
+    transient).  With ``fault_schedule`` the run becomes a chaos run; with
+    ``monitor=True`` an :class:`InvariantMonitor` checks invariants online
+    and its findings ride back on the result.
     """
+    # Local imports: repro.faults sits above the harness in the layering.
     service = build_scenario(scenario)
     if not full_trace:
         service.trace.enable_only(*METRIC_TRACE_CATEGORIES)
+    injector = None
+    if fault_schedule is not None:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(service, fault_schedule)
+        injector.arm()
+    invariant_monitor = None
+    if monitor:
+        from repro.faults.monitor import InvariantMonitor
+
+        invariant_monitor = InvariantMonitor(service)
+        invariant_monitor.attach()
     service.run(scenario.horizon)
-    return collect(scenario, service, warmup)
+    result = collect(scenario, service, warmup)
+    result.injector = injector
+    result.monitor = invariant_monitor
+    return result
 
 
 def collect(scenario: Scenario, service: RTPBService,

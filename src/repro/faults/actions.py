@@ -1,0 +1,263 @@
+"""The fault vocabulary: one class per injectable fault.
+
+Each :class:`FaultAction` is a small declarative object — what to break,
+and for transient faults how long to keep it broken — applied at its
+scheduled virtual time by the :class:`~repro.faults.injector.FaultInjector`.
+Actions resolve their targets *at fire time* ("primary" means whoever holds
+the role when the fault hits, not when the schedule was written), which is
+what makes schedules composable with failovers.
+
+All actions are plain dataclasses with deterministic ``describe()`` output,
+so a schedule serialises into the chaos report byte-identically run after
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.errors import ProtocolError
+from repro.net.link import LossModel
+
+#: How a fault names a server: a fabric address, a host name, or a dynamic
+#: role selector ("primary" / "backup" resolved at fire time).
+Target = Union[int, str]
+
+
+class FaultAction:
+    """Base class: a named, appliable fault."""
+
+    #: Machine-readable fault kind, stable across releases (report schema).
+    kind: str = "fault"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe parameters for the chaos report (no live objects)."""
+        return {}
+
+
+@dataclass
+class CrashServer(FaultAction):
+    """Fail-stop the targeted server (Section 4.1's crash failure)."""
+
+    target: Target
+
+    kind = "crash"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        server = injector.resolve_server(self.target)
+        if server is not None:
+            server.crash()
+
+    def describe(self) -> Dict[str, object]:
+        return {"target": self.target}
+
+
+@dataclass
+class RecoverServer(FaultAction):
+    """Reboot a crashed server; it rejoins as a spare and the current
+    primary is told about it (restarting recruitment if it lacks a backup)."""
+
+    target: Target
+
+    kind = "recover"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        server = injector.resolve_server(self.target)
+        if server is None or server.alive:
+            return
+        server.recover()
+        injector.announce_spare(server.host.address)
+
+    def describe(self) -> Dict[str, object]:
+        return {"target": self.target}
+
+
+@dataclass
+class Partition(FaultAction):
+    """Cut the fabric between two hosts, both directions."""
+
+    a: Target
+    b: Target
+
+    kind = "partition"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        injector.fabric.set_partition(injector.resolve_address(self.a),
+                                      injector.resolve_address(self.b), True)
+
+    def describe(self) -> Dict[str, object]:
+        return {"a": self.a, "b": self.b}
+
+
+@dataclass
+class Heal(FaultAction):
+    """Undo a :class:`Partition` between two hosts."""
+
+    a: Target
+    b: Target
+
+    kind = "heal"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        injector.fabric.set_partition(injector.resolve_address(self.a),
+                                      injector.resolve_address(self.b), False)
+
+    def describe(self) -> Dict[str, object]:
+        return {"a": self.a, "b": self.b}
+
+
+@dataclass
+class PartitionAll(FaultAction):
+    """Total network outage: every attached pair partitioned."""
+
+    kind = "partition_all"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        injector.fabric.partition_all()
+
+
+@dataclass
+class HealAll(FaultAction):
+    """Clear every partition on the fabric."""
+
+    kind = "heal_all"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        injector.fabric.heal_all()
+
+
+@dataclass
+class LossBurst(FaultAction):
+    """Swap the fabric's loss model for ``duration`` seconds.
+
+    Models a congestion episode: the paper observes "most of the message
+    losses occur when the network is overloaded".  The previous loss model
+    is restored when the burst ends.
+    """
+
+    duration: float
+    loss_model: LossModel
+
+    kind = "loss_burst"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        if self.duration <= 0:
+            raise ProtocolError(f"burst duration must be > 0: {self.duration}")
+        fabric = injector.fabric
+        previous = fabric.loss_model
+        fabric.set_loss_model(self.loss_model)
+        injector.schedule_restore(self.duration, fabric.set_loss_model,
+                                  previous)
+
+    def describe(self) -> Dict[str, object]:
+        return {"duration": self.duration,
+                "loss_model": self.loss_model.describe()}
+
+
+@dataclass
+class DelaySpike(FaultAction):
+    """Multiply the fabric's delay window by ``factor`` for ``duration``.
+
+    The delay bound ℓ is an *assumption* of the paper (Section 4.1); a
+    spike with ``factor > 1`` deliberately violates it so the invariant
+    monitor can observe what breaks.
+    """
+
+    duration: float
+    factor: float
+
+    kind = "delay_spike"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        if self.duration <= 0 or self.factor <= 0:
+            raise ProtocolError(
+                f"delay spike needs positive duration and factor, got "
+                f"duration={self.duration}, factor={self.factor}")
+        fabric = injector.fabric
+        previous = (fabric.delay_min, fabric.delay_bound)
+        fabric.delay_min *= self.factor
+        fabric.delay_bound *= self.factor
+
+        def restore() -> None:
+            fabric.delay_min, fabric.delay_bound = previous
+
+        injector.schedule_restore(self.duration, restore)
+
+    def describe(self) -> Dict[str, object]:
+        return {"duration": self.duration, "factor": self.factor}
+
+
+@dataclass
+class DuplicateMessages(FaultAction):
+    """Deliver messages twice with ``probability`` for ``duration`` seconds."""
+
+    duration: float
+    probability: float
+
+    kind = "duplicate"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        fabric = injector.fabric
+        previous = fabric.duplicate_probability
+        fabric.set_duplication(self.probability)
+        injector.schedule_restore(self.duration, fabric.set_duplication,
+                                  previous)
+
+    def describe(self) -> Dict[str, object]:
+        return {"duration": self.duration, "probability": self.probability}
+
+
+@dataclass
+class CorruptMessages(FaultAction):
+    """Bit-corrupt messages in flight with ``probability`` for ``duration``."""
+
+    duration: float
+    probability: float
+
+    kind = "corrupt"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        fabric = injector.fabric
+        previous = fabric.corrupt_probability
+        fabric.set_corruption(self.probability)
+        injector.schedule_restore(self.duration, fabric.set_corruption,
+                                  previous)
+
+    def describe(self) -> Dict[str, object]:
+        return {"duration": self.duration, "probability": self.probability}
+
+
+@dataclass
+class ClockDrift(FaultAction):
+    """Skew the targeted replica's local timers by ``scale``.
+
+    ``scale > 1`` is a slow clock, ``scale < 1`` a fast one; with a
+    ``duration`` the clock snaps back to perfect afterwards, otherwise the
+    drift persists for the rest of the run.
+    """
+
+    target: Target
+    scale: float
+    duration: Optional[float] = None
+
+    kind = "clock_drift"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        server = injector.resolve_server(self.target)
+        if server is None:
+            return
+        server.set_clock_scale(self.scale)
+        if self.duration is not None:
+            injector.schedule_restore(self.duration, server.set_clock_scale,
+                                      1.0)
+
+    def describe(self) -> Dict[str, object]:
+        summary: Dict[str, object] = {"target": self.target,
+                                      "scale": self.scale}
+        if self.duration is not None:
+            summary["duration"] = self.duration
+        return summary

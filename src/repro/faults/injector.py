@@ -1,0 +1,103 @@
+"""The chaos orchestrator: binds a :class:`FaultSchedule` to a deployment.
+
+:class:`FaultInjector` schedules every fault on the deployment's simulator
+(virtual time — the whole chaos run stays deterministic), resolves dynamic
+targets at fire time, traces each applied fault (``fault_injected``), and
+keeps a JSON-safe log of what actually fired for the chaos report.
+
+Trace categories: ``fault_injected``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.server import ReplicaServer, Role
+from repro.core.service import RTPBService
+from repro.errors import ProtocolError
+from repro.faults.actions import Target
+from repro.faults.schedule import FaultSchedule, TimedFault
+
+
+class FaultInjector:
+    """Applies a fault schedule to one :class:`RTPBService` deployment."""
+
+    def __init__(self, service: RTPBService,
+                 schedule: Optional[FaultSchedule] = None) -> None:
+        self.service = service
+        self.sim = service.sim
+        self.fabric = service.fabric
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+        #: JSON-safe log of every fault actually applied, in firing order.
+        self.applied: List[Dict[str, Any]] = []
+        self._armed = False
+
+    # ------------------------------------------------------------------
+
+    def arm(self) -> None:
+        """Schedule every fault on the simulator (idempotent)."""
+        if self._armed:
+            return
+        self._armed = True
+        for entry in self.schedule.entries:
+            if entry.time < self.sim.now:
+                raise ProtocolError(
+                    f"fault at {entry.time} is in the past "
+                    f"(now={self.sim.now})")
+            self.sim.schedule_at(entry.time, self._fire, entry)
+
+    def inject_now(self, action) -> None:
+        """Apply one action immediately, outside any schedule."""
+        self._fire(TimedFault(self.sim.now, action))
+
+    def _fire(self, entry: TimedFault) -> None:
+        entry.action.apply(self)
+        event = {"time": self.sim.now, "kind": entry.action.kind,
+                 **entry.action.describe()}
+        self.applied.append(event)
+        self.sim.trace.record("fault_injected", **event)
+
+    # ------------------------------------------------------------------
+    # Services to actions
+    # ------------------------------------------------------------------
+
+    def resolve_server(self, target: Target) -> Optional[ReplicaServer]:
+        """Find the server a target names, or None if nothing matches.
+
+        ``"primary"``/``"backup"`` select whoever holds the role *now* (and
+        is alive); an int is a fabric address; any other string is a host
+        name.  Role selectors returning None (e.g. "backup" while the spare
+        is still being recruited) make the fault a deterministic no-op.
+        """
+        if target == "primary":
+            return self._live_with_role(Role.PRIMARY)
+        if target == "backup":
+            return self._live_with_role(Role.BACKUP)
+        for server in self.service.servers.values():
+            if server.host.address == target or server.host.name == target:
+                return server
+        return None
+
+    def resolve_address(self, target: Target) -> int:
+        """A target's fabric address; raises if nothing matches."""
+        server = self.resolve_server(target)
+        if server is None:
+            raise ProtocolError(f"no server matches fault target {target!r}")
+        return server.host.address
+
+    def _live_with_role(self, role: Role) -> Optional[ReplicaServer]:
+        for server in self.service.servers.values():
+            if server.alive and server.role is role:
+                return server
+        return None
+
+    def announce_spare(self, address: int) -> None:
+        """Tell every live primary a spare host is available (rejoin path)."""
+        for server in self.service.servers.values():
+            if server.alive and server.role is Role.PRIMARY:
+                server.notice_spare(address)
+
+    def schedule_restore(self, delay: float, restore: Callable[..., Any],
+                         *args: Any) -> None:
+        """Schedule the revert half of a transient fault."""
+        self.sim.schedule(delay, restore, *args)

@@ -1,0 +1,270 @@
+"""Online invariant checking: flag violations *while the run executes*.
+
+The post-hoc checkers (:mod:`repro.consistency.checker`) answer "did this
+finished run stay consistent?"; the :class:`InvariantMonitor` answers it
+live.  It subscribes to the tracer (seeing every record regardless of the
+storage filter) and watches three invariants:
+
+- **temporal window** — every version the primary wrote more than
+  ``δ_i`` (+ a small provisioning grace) ago must have reached the backup:
+  the online form of ``W_B(t) ≥ W_P(t - δ_i)``.  Vacuous while no backup
+  exists (post-failover, pre-recruitment).
+- **split brain** — at most one live server holds the PRIMARY role.
+- **failover deadline** — after a primary crash with a live backup,
+  the failover must happen within the configured detection bound
+  (Section 4.4) plus a margin.
+
+Violations are collected on :attr:`InvariantMonitor.violations`, traced as
+``invariant_violation`` records, and optionally reported through a callback
+— all at the virtual instant they are *detected*, not after the run.
+
+Trace categories: ``invariant_violation``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.core.server import Role
+from repro.core.service import RTPBService
+from repro.sim.trace import TraceRecord
+
+_EPSILON = 1e-9
+
+#: Invariant kinds (values of ``InvariantViolation.kind``).
+TEMPORAL_WINDOW = "temporal_window"
+SPLIT_BRAIN = "split_brain"
+MISSED_FAILOVER = "missed_failover"
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One invariant violation, stamped with its detection time."""
+
+    time: float
+    kind: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"time": self.time, "kind": self.kind, **self.details}
+
+
+class InvariantMonitor:
+    """Watches one deployment's trace for invariant violations, online."""
+
+    def __init__(self, service: RTPBService,
+                 grace: Optional[float] = None,
+                 failover_margin: float = 0.1,
+                 on_violation: Optional[Callable[[InvariantViolation],
+                                                 None]] = None) -> None:
+        self.service = service
+        self.sim = service.sim
+        self.on_violation = on_violation
+        self.failover_margin = failover_margin
+        config = service.config
+        specs = service.registered_specs()
+        #: Provisioning allowance on top of δ_i: link delay plus worst-case
+        #: apply queueing at the backup (all objects applying back-to-back).
+        self.grace = (grace if grace is not None else
+                      config.ell + max(8, len(specs)) * config.apply_cost_base)
+        self.violations: List[InvariantViolation] = []
+        self._windows: Dict[int, float] = {
+            spec.object_id: spec.window for spec in specs}
+        #: Per object: write instants not yet covered by a backup apply.
+        self._pending: Dict[int, List[float]] = {}
+        self._timer_armed: Set[int] = set()
+        self._violating: Set[int] = set()
+        self._split_check_pending = False
+        self._flagged_primaries: frozenset = frozenset()
+        self._last_failover_at: Optional[float] = None
+        self._attached = False
+
+    # ------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Start observing the deployment's trace (idempotent)."""
+        if self._attached:
+            return
+        self._attached = True
+        self._windows.update({spec.object_id: spec.window
+                              for spec in self.service.registered_specs()})
+        self.sim.trace.subscribe(self._on_record)
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        self._attached = False
+        self.sim.trace.unsubscribe(self._on_record)
+
+    def violation_counts(self) -> Dict[str, int]:
+        """Histogram kind -> count (diagnostics and reports)."""
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.kind] = counts.get(violation.kind, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Trace dispatch
+    # ------------------------------------------------------------------
+
+    def _on_record(self, record: TraceRecord) -> None:
+        category = record.category
+        if category == "primary_write":
+            self._on_primary_write(record)
+        elif category == "backup_apply":
+            self._on_backup_apply(record)
+        elif category == "server_crash":
+            self._on_server_crash(record)
+        elif category == "failover":
+            self._last_failover_at = record.time
+            # The old primary's unreplicated writes died with it; window
+            # accounting restarts against the new primary's stream.
+            self._reset_window_state()
+            self._schedule_split_check()
+        elif category in ("recruited", "reattached"):
+            # Recruitment re-baselines the backup via the state-transfer
+            # snapshot; writes pending from the backup-less interval are
+            # covered by it, so window accounting restarts here (otherwise
+            # a timer expiring in the few ms before the snapshot applies
+            # raises a spurious violation).
+            self._reset_window_state()
+            self._schedule_split_check()
+        elif category == "server_recover":
+            self._schedule_split_check()
+
+    # -- temporal window ---------------------------------------------------
+
+    def _on_primary_write(self, record: TraceRecord) -> None:
+        object_id = record["object"]
+        window = self._windows.get(object_id)
+        if window is None:
+            return
+        pending = self._pending.setdefault(object_id, [])
+        pending.append(record.time)
+        self._arm_window_timer(object_id)
+
+    def _on_backup_apply(self, record: TraceRecord) -> None:
+        object_id = record["object"]
+        pending = self._pending.get(object_id)
+        if not pending:
+            return
+        covered_until = record["write_time"] + _EPSILON
+        self._pending[object_id] = [instant for instant in pending
+                                    if instant > covered_until]
+        if object_id in self._violating and self._head_overdue_at(
+                object_id) is None:
+            self._violating.discard(object_id)
+
+    def _head_overdue_at(self, object_id: int) -> Optional[float]:
+        """Deadline of the oldest pending write, or None when nothing pends."""
+        pending = self._pending.get(object_id)
+        if not pending:
+            return None
+        return pending[0] + self._windows[object_id] + self.grace
+
+    def _arm_window_timer(self, object_id: int) -> None:
+        if object_id in self._timer_armed:
+            return
+        deadline = self._head_overdue_at(object_id)
+        if deadline is None:
+            return
+        self._timer_armed.add(object_id)
+        self.sim.schedule(max(0.0, deadline - self.sim.now),
+                          self._check_window, object_id)
+
+    def _check_window(self, object_id: int) -> None:
+        self._timer_armed.discard(object_id)
+        now = self.sim.now
+        pending = self._pending.get(object_id, [])
+        window = self._windows[object_id]
+        while pending and pending[0] + window + self.grace <= now + _EPSILON:
+            overdue = pending.pop(0)
+            if self.service.current_backup() is None:
+                # No backup to be consistent with: the invariant is vacuous
+                # until recruitment finishes (single-failure assumption).
+                continue
+            if object_id not in self._violating:
+                self._violating.add(object_id)
+                self._emit(TEMPORAL_WINDOW, object=object_id,
+                           write_time=overdue, window=window,
+                           lateness=now - overdue - window)
+        self._arm_window_timer(object_id)
+
+    def _reset_window_state(self) -> None:
+        self._pending.clear()
+        self._violating.clear()
+
+    # -- split brain -------------------------------------------------------
+
+    def _schedule_split_check(self) -> None:
+        # Role flips happen *around* the trace record inside one event;
+        # check after the event completes so we see the settled state.
+        if self._split_check_pending:
+            return
+        self._split_check_pending = True
+        self.sim.schedule(0.0, self._check_split_brain)
+
+    def _check_split_brain(self) -> None:
+        self._split_check_pending = False
+        primaries = frozenset(
+            server.host.name for server in self.service.servers.values()
+            if server.alive and server.role is Role.PRIMARY)
+        if len(primaries) >= 2 and primaries != self._flagged_primaries:
+            self._flagged_primaries = primaries
+            self._emit(SPLIT_BRAIN, primaries=sorted(primaries))
+        elif len(primaries) < 2:
+            self._flagged_primaries = frozenset()
+
+    # -- failover deadline -------------------------------------------------
+
+    def _on_server_crash(self, record: TraceRecord) -> None:
+        self._schedule_split_check()
+        if record.get("role") != Role.PRIMARY.value:
+            return
+        self._reset_window_state()
+        if not self.service.config.failover_enabled:
+            return
+        if not self._was_authoritative(record.get("server")):
+            # A deposed split-brain primary died; the service already moved
+            # on, so nobody owes a failover for this crash.
+            return
+        backup = self.service.current_backup()
+        if backup is None:
+            return
+        deadline = (self.service.config.failure_detection_latency()
+                    + self.failover_margin)
+        self.sim.schedule(deadline, self._check_failover, record.time,
+                          backup.host.name)
+
+    def _was_authoritative(self, server_name: Any) -> bool:
+        """Whether the named server is the one the name file points at."""
+        if not self.service.name_service.knows(self.service.service_name):
+            return False
+        published = self.service.name_service.lookup(self.service.service_name)
+        return any(server.host.name == server_name
+                   and server.host.address == published
+                   for server in self.service.servers.values())
+
+    def _check_failover(self, crash_time: float, backup_name: str) -> None:
+        if (self._last_failover_at is not None
+                and self._last_failover_at >= crash_time):
+            return
+        backup = next((server for server in self.service.servers.values()
+                       if server.host.name == backup_name), None)
+        if backup is None or not backup.alive:
+            return  # the would-be successor died too; nobody could promote
+        self._emit(MISSED_FAILOVER, crash_time=crash_time,
+                   backup=backup_name,
+                   deadline=crash_time
+                   + self.service.config.failure_detection_latency()
+                   + self.failover_margin)
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, kind: str, **details: Any) -> None:
+        violation = InvariantViolation(self.sim.now, kind, details)
+        self.violations.append(violation)
+        self.sim.trace.record("invariant_violation", kind=kind, **details)
+        if self.on_violation is not None:
+            self.on_violation(violation)

@@ -1,0 +1,108 @@
+"""Chaos run execution and deterministic JSON reporting.
+
+:func:`run_chaos` executes one catalogue scenario through the experiments
+harness with its fault schedule armed and the invariant monitor attached;
+:func:`report_dict` flattens the outcome — the fault log as applied, every
+violation, the performability metrics, fabric counters, and a SHA-256 trace
+digest — into plain data that :func:`repro.metrics.stable_dumps` serialises
+byte-identically across runs of the same ``(scenario, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.experiments.harness import RunResult, run_scenario
+from repro.faults.scenarios import SCENARIOS, ChaosScenario, build
+from repro.metrics.jsonio import jsonable
+
+
+@dataclass
+class ChaosRunResult:
+    """A finished chaos run: the scenario, the harness result, the digest."""
+
+    scenario: ChaosScenario
+    seed: int
+    result: RunResult
+    trace_digest: str
+
+    @property
+    def violations(self) -> List[Any]:
+        monitor = self.result.monitor
+        return list(monitor.violations) if monitor is not None else []
+
+    def unexpected_violations(self) -> List[Any]:
+        """Violations whose kind the scenario did not set out to provoke."""
+        expected = set(self.scenario.expected_violations)
+        return [violation for violation in self.violations
+                if violation.kind not in expected]
+
+
+def run_chaos(name: str, seed: int = 0, warmup: float = 2.0,
+              scenario: Optional[ChaosScenario] = None) -> ChaosRunResult:
+    """Run one chaos scenario (by catalogue name, or a prebuilt one)."""
+    chaos = scenario if scenario is not None else build(name, seed)
+    result = run_scenario(chaos.workload, warmup=warmup,
+                          fault_schedule=chaos.schedule, monitor=True)
+    return ChaosRunResult(
+        scenario=chaos,
+        seed=seed,
+        result=result,
+        trace_digest=result.service.trace.digest(),
+    )
+
+
+def report_dict(run: ChaosRunResult) -> Dict[str, Any]:
+    """Flatten one chaos run into deterministic, JSON-ready data."""
+    result = run.result
+    monitor = result.monitor
+    injector = result.injector
+    fabric = result.service.fabric
+    violations = [violation.to_dict() for violation in run.violations]
+    return {
+        "scenario": {
+            "name": run.scenario.name,
+            "description": run.scenario.description,
+            "seed": run.seed,
+            "horizon": run.scenario.workload.horizon,
+            "n_objects": run.scenario.workload.n_objects,
+            "expected_violations": list(run.scenario.expected_violations),
+        },
+        "faults": {
+            "scheduled": run.scenario.schedule.describe(),
+            "applied": list(injector.applied) if injector is not None else [],
+        },
+        "invariants": {
+            "violations": jsonable(violations),
+            "violation_counts": (monitor.violation_counts()
+                                 if monitor is not None else {}),
+            "unexpected": jsonable(
+                [violation.to_dict()
+                 for violation in run.unexpected_violations()]),
+        },
+        "metrics": jsonable({
+            "admitted": result.admitted,
+            "mean_response": result.response.mean,
+            "p95_response": result.response.p95,
+            "starved_writes": result.starved_writes,
+            "avg_max_distance": result.avg_max_distance,
+            "avg_inconsistency": result.avg_inconsistency,
+            "delivery_rate": result.delivery_rate,
+        }),
+        "network": {
+            "messages_sent": fabric.messages_sent,
+            "messages_delivered": fabric.messages_delivered,
+            "messages_dropped": fabric.messages_dropped,
+            "messages_duplicated": fabric.messages_duplicated,
+            "messages_corrupted": fabric.messages_corrupted,
+        },
+        "trace_digest": run.trace_digest,
+    }
+
+
+def run_matrix(names: Optional[Iterable[str]] = None,
+               seed: int = 0) -> Dict[str, Dict[str, Any]]:
+    """Run several catalogue scenarios and report each (name -> report)."""
+    selected = sorted(names) if names is not None else sorted(SCENARIOS)
+    return {name: report_dict(run_chaos(name, seed)) for name in selected}

@@ -1,0 +1,190 @@
+"""The chaos scenario catalogue.
+
+Each scenario bundles a workload (:class:`~repro.workload.scenarios.Scenario`)
+with a :class:`~repro.faults.schedule.FaultSchedule` and the violation kinds
+the fault pattern is *expected* to provoke — chaos runs distinguish "the
+monitor flagged what we deliberately broke" from "something else broke".
+
+Every factory takes the root seed, so the whole catalogue is a deterministic
+function of ``(name, seed)``; ``python -m repro.faults`` runs it as a matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.core.service import BACKUP_ADDRESS, PRIMARY_ADDRESS
+from repro.faults.monitor import SPLIT_BRAIN, TEMPORAL_WINDOW
+from repro.faults.schedule import FaultSchedule
+from repro.net.link import GilbertElliottLoss
+from repro.units import ms
+from repro.workload.scenarios import Scenario
+
+
+@dataclass
+class ChaosScenario:
+    """A workload plus the faults thrown at it."""
+
+    name: str
+    description: str
+    workload: Scenario
+    schedule: FaultSchedule
+    #: Violation kinds this fault pattern is designed to provoke; kinds the
+    #: monitor flags beyond these deserve attention.
+    expected_violations: Tuple[str, ...] = ()
+
+
+def primary_crash_burst_loss(seed: int = 0) -> ChaosScenario:
+    """Primary crashes in the middle of a bursty-loss episode.
+
+    A Gilbert-Elliott bad spell (the paper's "most of the message losses
+    occur when the network is overloaded") opens at t=3; at t=5, with the
+    link still bad, the primary dies.  Burst loss makes missed update
+    rounds — temporal-window violations — likely, and correlated loss can
+    swallow enough consecutive ping rounds that the detector falsely
+    declares a live peer dead (timeout-based detection cannot tell burst
+    loss from a crash), so transient split brain is an expected finding
+    here too.
+    """
+    workload = Scenario(n_objects=4, window=ms(200.0), client_period=ms(100.0),
+                        horizon=20.0, seed=seed, n_spares=1)
+    schedule = (FaultSchedule()
+                .loss_burst(3.0, 4.0, GilbertElliottLoss(
+                    p_gb=0.4, p_bg=0.2, loss_good=0.05, loss_bad=0.7))
+                .crash(5.0, PRIMARY_ADDRESS))
+    return ChaosScenario(
+        name="primary_crash_burst_loss",
+        description="primary fail-stop during a Gilbert-Elliott loss burst",
+        workload=workload,
+        schedule=schedule,
+        expected_violations=(TEMPORAL_WINDOW, SPLIT_BRAIN),
+    )
+
+
+def partition_heal_rejoin(seed: int = 0) -> ChaosScenario:
+    """Partition → split brain → heal → deposed primary rejoins as spare.
+
+    The partition violates Section 4.1's no-partition assumption, so both
+    sides claim the primary role (the monitor must flag split brain).  After
+    the heal, the deposed primary is crash-cycled: it reboots as a spare and
+    the promoted primary recruits it, restoring a replica pair.
+
+    While partitioned, the backup is alive but unreachable, so its image
+    goes stale past δ_i; whether the monitor flags that before the backup
+    promotes itself (making the check vacuous) is a seed-dependent race
+    against the detection latency, so temporal_window is expected too.
+    """
+    workload = Scenario(n_objects=4, window=ms(200.0), client_period=ms(100.0),
+                        horizon=25.0, seed=seed, n_spares=0)
+    schedule = (FaultSchedule()
+                .partition_window(4.0, 10.0, PRIMARY_ADDRESS, BACKUP_ADDRESS)
+                .crash_cycle(14.0, 2.0, PRIMARY_ADDRESS))
+    return ChaosScenario(
+        name="partition_heal_rejoin",
+        description="split brain under partition, then heal and rejoin",
+        workload=workload,
+        schedule=schedule,
+        expected_violations=(SPLIT_BRAIN, TEMPORAL_WINDOW),
+    )
+
+
+def backup_flapping(seed: int = 0) -> ChaosScenario:
+    """The backup host crash-recovers repeatedly (seeded random flapping).
+
+    Every outage makes the primary declare the backup lost and tear down
+    transmission; every recovery re-runs recruitment and state transfer.
+    Exercises the rejoin path under churn — no invariant should break,
+    because window consistency is vacuous while the backup is down.
+    """
+    workload = Scenario(n_objects=4, window=ms(200.0), client_period=ms(100.0),
+                        horizon=25.0, seed=seed, n_spares=0)
+    schedule = FaultSchedule.flapping(
+        seed=seed, target=BACKUP_ADDRESS, start=3.0, end=20.0,
+        mean_uptime=3.0, mean_outage=1.5)
+    return ChaosScenario(
+        name="backup_flapping",
+        description="backup crash/recover churn with re-recruitment",
+        workload=workload,
+        schedule=schedule,
+        expected_violations=(),
+    )
+
+
+def crash_plus_partition(seed: int = 0) -> ChaosScenario:
+    """Compound fault: partition first, then the deposed primary dies.
+
+    The partition promotes the backup (split brain); the old primary then
+    crashes while still partitioned, the network heals, and the crashed
+    host later reboots into the new deployment as a spare.
+
+    As in :func:`partition_heal_rejoin`, the partitioned backup goes stale
+    past δ_i, and the monitor may catch that before the backup's own
+    promotion makes the check vacuous — temporal_window is expected.
+    """
+    workload = Scenario(n_objects=4, window=ms(200.0), client_period=ms(100.0),
+                        horizon=25.0, seed=seed, n_spares=1)
+    schedule = (FaultSchedule()
+                .partition(4.0, PRIMARY_ADDRESS, BACKUP_ADDRESS)
+                .crash(6.0, PRIMARY_ADDRESS)
+                .heal(8.0, PRIMARY_ADDRESS, BACKUP_ADDRESS)
+                .recover(12.0, PRIMARY_ADDRESS))
+    return ChaosScenario(
+        name="crash_plus_partition",
+        description="primary crash inside a partition, heal, late rejoin",
+        workload=workload,
+        schedule=schedule,
+        expected_violations=(SPLIT_BRAIN, TEMPORAL_WINDOW),
+    )
+
+
+def degraded_network(seed: int = 0) -> ChaosScenario:
+    """Non-crash link pathologies: delay spike, duplication, corruption,
+    plus bounded clock drift on the backup's timers.
+
+    None of these are fail-stop faults; the protocol is expected to ride
+    them out (sequence guards absorb duplicates, the decode path rejects
+    corrupted messages, the watchdog tolerates drift), so the expected
+    violation set is empty.
+    """
+    workload = Scenario(n_objects=4, window=ms(200.0), client_period=ms(100.0),
+                        horizon=20.0, seed=seed, n_spares=0)
+    schedule = (FaultSchedule()
+                .delay_spike(3.0, 3.0, factor=3.0)
+                .clock_drift(5.0, BACKUP_ADDRESS, scale=1.4, duration=6.0)
+                .duplicate(8.0, 3.0, probability=0.3)
+                # Corrupted messages fail decode and are dropped, so for the
+                # ping detector corruption *is* loss; 5% keeps the chance of
+                # ping_max_misses consecutive failed rounds negligible.
+                .corrupt(12.0, 3.0, probability=0.05))
+    return ChaosScenario(
+        name="degraded_network",
+        description="delay spike, duplication, corruption, clock drift",
+        workload=workload,
+        schedule=schedule,
+        expected_violations=(),
+    )
+
+
+#: The catalogue: name -> factory(seed).
+SCENARIOS: Dict[str, Callable[[int], ChaosScenario]] = {
+    factory.__name__: factory
+    for factory in (
+        primary_crash_burst_loss,
+        partition_heal_rejoin,
+        backup_flapping,
+        crash_plus_partition,
+        degraded_network,
+    )
+}
+
+
+def build(name: str, seed: int = 0) -> ChaosScenario:
+    """Instantiate a catalogue scenario by name."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown chaos scenario {name!r}; known: "
+            f"{', '.join(sorted(SCENARIOS))}") from None
+    return factory(seed)

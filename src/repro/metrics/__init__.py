@@ -27,6 +27,7 @@ from repro.metrics.collectors import (
     unanswered_writes,
     update_delivery_rate,
 )
+from repro.metrics.jsonio import jsonable, stable_dumps
 from repro.metrics.report import Series, Table
 from repro.metrics.summary import RunSummary, summarize_run
 
@@ -49,4 +50,6 @@ __all__ = [
     "Series",
     "RunSummary",
     "summarize_run",
+    "jsonable",
+    "stable_dumps",
 ]

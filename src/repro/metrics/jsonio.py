@@ -1,0 +1,45 @@
+"""Deterministic JSON serialisation for reports.
+
+The chaos CLI's acceptance bar is byte-identical reports for identical
+``(scenario, seed)`` runs, so this module pins down everything
+:func:`json.dumps` leaves loose: keys are sorted, NaN/Inf (illegal JSON
+that ``json`` would happily emit) become ``null``, and dataclasses, tuples,
+sets, and byte strings are converted to JSON-native shapes first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Any
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-native data.
+
+    Floats that JSON cannot represent (NaN, ±Inf) map to ``None``; sets are
+    sorted for determinism; bytes are hex-encoded.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, bytes):
+        return value.hex()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: jsonable(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return [jsonable(item) for item in sorted(value)]
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    return str(value)
+
+
+def stable_dumps(value: Any, indent: int = 2) -> str:
+    """Serialise ``value`` deterministically (sorted keys, no NaN)."""
+    return json.dumps(jsonable(value), sort_keys=True, indent=indent,
+                      allow_nan=False)

@@ -12,7 +12,14 @@ The paper's system assumptions (Section 4.1):
   pluggable: :class:`NoLoss`, i.i.d. :class:`BernoulliLoss` (the evaluation's
   model), and bursty :class:`GilbertElliottLoss`.
 
-Trace categories: ``link_send``, ``link_drop``, ``link_deliver``.
+The fault subsystem (:mod:`repro.faults`) can additionally duplicate or
+corrupt messages in flight (:meth:`NetworkFabric.set_duplication`,
+:meth:`NetworkFabric.set_corruption`); both are off by default and draw from
+their own named random streams, so enabling them does not perturb the loss
+or delay sequences of an otherwise-identical run.
+
+Trace categories: ``link_send``, ``link_drop``, ``link_deliver``,
+``link_duplicate``, ``link_corrupt``.
 """
 
 from __future__ import annotations
@@ -142,11 +149,17 @@ class NetworkFabric:
             raise ProtocolError(
                 f"delay_min {self.delay_min} outside [0, {delay_bound}]")
         self.loss_model = loss_model if loss_model is not None else NoLoss()
+        #: Probability a delivered message is delivered twice (fault knob).
+        self.duplicate_probability = 0.0
+        #: Probability a message is bit-corrupted in flight (fault knob).
+        self.corrupt_probability = 0.0
         self._ports: Dict[int, LinkPort] = {}
         self._partitions: Set[Tuple[int, int]] = set()
         self.messages_sent = 0
         self.messages_dropped = 0
         self.messages_delivered = 0
+        self.messages_duplicated = 0
+        self.messages_corrupted = 0
         self.bytes_sent = 0
 
     # ------------------------------------------------------------------
@@ -170,6 +183,34 @@ class NetworkFabric:
             self._partitions.add(key)
         else:
             self._partitions.discard(key)
+
+    def partition_all(self) -> None:
+        """Partition every currently attached pair (total network outage)."""
+        addresses = sorted(self._ports)
+        for index, a in enumerate(addresses):
+            for b in addresses[index + 1:]:
+                self._partitions.add((a, b))
+
+    def heal_all(self) -> None:
+        """Remove every partition at once."""
+        self._partitions.clear()
+
+    def is_partitioned(self, a: int, b: int) -> bool:
+        return (min(a, b), max(a, b)) in self._partitions
+
+    def set_duplication(self, probability: float) -> None:
+        """Deliver each non-dropped message twice with this probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ProtocolError(
+                f"duplicate probability must be in [0,1]: {probability}")
+        self.duplicate_probability = probability
+
+    def set_corruption(self, probability: float) -> None:
+        """Flip one byte of each message in flight with this probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ProtocolError(
+                f"corrupt probability must be in [0,1]: {probability}")
+        self.corrupt_probability = probability
 
     # ------------------------------------------------------------------
 
@@ -197,10 +238,36 @@ class NetworkFabric:
             return
         delay_rng = self.sim.random.stream(f"{self.name}.delay")
         delay = delay_rng.uniform(self.delay_min, self.delay_bound)
+        payload = message.copy()
+        if self.corrupt_probability > 0.0:
+            corrupt_rng = self.sim.random.stream(f"{self.name}.corrupt")
+            if corrupt_rng.random() < self.corrupt_probability:
+                self._flip_byte(payload, corrupt_rng)
+                self.messages_corrupted += 1
+                self.sim.trace.record("link_corrupt", src=source,
+                                      dst=destination, size=len(payload))
         self.sim.trace.record("link_send", src=source, dst=destination,
                               size=len(message), delay=delay)
-        self.sim.schedule(delay, self._deliver, source, destination,
-                          message.copy())
+        self.sim.schedule(delay, self._deliver, source, destination, payload)
+        if self.duplicate_probability > 0.0:
+            dup_rng = self.sim.random.stream(f"{self.name}.duplicate")
+            if dup_rng.random() < self.duplicate_probability:
+                dup_delay = dup_rng.uniform(self.delay_min, self.delay_bound)
+                self.messages_duplicated += 1
+                self.sim.trace.record("link_duplicate", src=source,
+                                      dst=destination, delay=dup_delay)
+                self.sim.schedule(dup_delay, self._deliver, source,
+                                  destination, payload.copy())
+
+    @staticmethod
+    def _flip_byte(message: Message, rng: random.Random) -> None:
+        """Invert one random byte in place (bit corruption in flight)."""
+        size = len(message)
+        if size == 0:
+            return
+        data = bytearray(message.pop(size))
+        data[rng.randrange(size)] ^= 0xFF
+        message.push(bytes(data))
 
     def _deliver(self, source: int, destination: int,
                  message: Message) -> None:

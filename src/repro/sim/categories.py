@@ -1,0 +1,77 @@
+"""Declared trace categories: the vocabulary of :meth:`Tracer.record`.
+
+Every category recorded anywhere in the library must be declared here —
+a test greps the source tree and fails on any undeclared (or misspelled)
+category string, so a typo in a ``trace.record("...")`` call is a test
+failure instead of a silently empty ``trace.select``.  Import the constants
+in code that both records and selects a category; string literals remain
+fine at call sites as long as they match a declared name.
+"""
+
+from __future__ import annotations
+
+# -- link layer ------------------------------------------------------------
+LINK_SEND = "link_send"
+LINK_DROP = "link_drop"
+LINK_DELIVER = "link_deliver"
+LINK_DUPLICATE = "link_duplicate"
+LINK_CORRUPT = "link_corrupt"
+
+# -- IP / UDP / anchor protocols ------------------------------------------
+IP_DROP = "ip_drop"
+UDP_DROP = "udp_drop"
+ANCHOR_DROP = "anchor_drop"
+
+# -- CPU scheduling --------------------------------------------------------
+JOB_RELEASE = "job_release"
+JOB_FINISH = "job_finish"
+JOB_PREEMPT = "job_preempt"
+JOB_REPLACED = "job_replaced"
+DEADLINE_MISS = "deadline_miss"
+
+# -- name service ----------------------------------------------------------
+NAME_UPDATE = "name_update"
+
+# -- client application ----------------------------------------------------
+CLIENT_ACTIVATED = "client_activated"
+CLIENT_RESPONSE = "client_response"
+CLIENT_READ = "client_read"
+CLIENT_READ_REJECTED = "client_read_rejected"
+CLIENT_WRITE_REJECTED = "client_write_rejected"
+
+# -- RTPB replication protocol ---------------------------------------------
+PRIMARY_WRITE = "primary_write"
+BACKUP_APPLY = "backup_apply"
+BACKUP_APPLY_STALE = "backup_apply_stale"
+REGISTRATION = "registration"
+REGISTRATION_REPLICATED = "registration_replicated"
+REGISTRATION_GAVE_UP = "registration_gave_up"
+CONSTRAINT = "constraint"
+RTPB_GARBLED = "rtpb_garbled"
+RETX_REQUEST = "retx_request"
+UPDATE_ACK = "update_ack"
+UPDATE_SENT = "update_sent"
+
+# -- failure detection / recovery ------------------------------------------
+PING_MISS = "ping_miss"
+PEER_DECLARED_DEAD = "peer_declared_dead"
+SERVER_CRASH = "server_crash"
+SERVER_RECOVER = "server_recover"
+BACKUP_LOST = "backup_lost"
+FAILOVER = "failover"
+RECRUITED = "recruited"
+RECRUIT_GAVE_UP = "recruit_gave_up"
+
+# -- multi-backup extension ------------------------------------------------
+AWAITING_NEW_PRIMARY = "awaiting_new_primary"
+REATTACHED = "reattached"
+
+# -- fault injection / invariant monitoring --------------------------------
+FAULT_INJECTED = "fault_injected"
+INVARIANT_VIOLATION = "invariant_violation"
+
+#: Every category any library component may record.
+ALL_CATEGORIES = frozenset(
+    value for name, value in sorted(globals().items())
+    if name.isupper() and isinstance(value, str)
+)

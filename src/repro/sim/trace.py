@@ -3,11 +3,14 @@
 Model components record what happened (a job finished, a message was dropped,
 an update was applied) as :class:`TraceRecord` rows.  The metrics collectors
 and consistency checkers consume these rows after the run; tests assert on
-them directly.
+them directly.  Online observers (the fault subsystem's invariant monitor)
+:meth:`~Tracer.subscribe` instead and see every record as it is produced,
+independently of the storage filter.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -38,12 +41,36 @@ class Tracer:
         self._clock = clock
         self._records: List[TraceRecord] = []
         self._enabled: Optional[frozenset] = None  # None means "all"
+        self._listeners: List[Callable[[TraceRecord], None]] = []
 
     def record(self, category: str, **fields: Any) -> None:
-        """Append one record stamped with the current virtual time."""
-        if self._enabled is not None and category not in self._enabled:
+        """Append one record stamped with the current virtual time.
+
+        Subscribed listeners are notified of *every* record, including ones
+        the :meth:`enable_only` filter keeps out of storage — online
+        monitors must not go blind just because a long run narrows what the
+        post-hoc collectors keep.
+        """
+        filtered = (self._enabled is not None
+                    and category not in self._enabled)
+        if filtered and not self._listeners:
             return
-        self._records.append(TraceRecord(self._clock(), category, fields))
+        record = TraceRecord(self._clock(), category, fields)
+        for listener in self._listeners:
+            listener(record)
+        if not filtered:
+            self._records.append(record)
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Start delivering every record to ``listener`` as it is produced."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        # Equality, not identity: each access to a bound method (the usual
+        # listener shape) builds a fresh object, so `is` would never match.
+        self._listeners = [known for known in self._listeners
+                           if known != listener]
 
     def enable_only(self, *categories: str) -> None:
         """Keep only the given categories from now on (empty = keep nothing)."""
@@ -67,6 +94,20 @@ class Tracer:
         for record in self._records:
             counts[record.category] = counts.get(record.category, 0) + 1
         return counts
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of every stored record.
+
+        Two runs of the same model with the same seed (and the same storage
+        filter) produce identical digests; the determinism tests and the
+        chaos reports rely on this as a cheap whole-trace fingerprint.
+        """
+        hasher = hashlib.sha256()
+        for record in self._records:
+            canonical = (record.time, record.category,
+                         sorted(record.fields.items()))
+            hasher.update(repr(canonical).encode())
+        return hasher.hexdigest()
 
     def clear(self) -> None:
         self._records.clear()

@@ -1,12 +1,16 @@
-"""Unit tests for ping-based failure detection (Section 4.4)."""
+"""Unit tests for ping-based failure detection (Section 4.4) and the
+crash/recovery injector."""
 
 import pytest
 
 from repro.core.failure import PingManager
 from repro.core.rtpb_protocol import PingAckMsg, PingMsg, decode_message
+from repro.core.server import Role
+from repro.core.service import RTPBService
 from repro.core.spec import ServiceConfig
 from repro.sim.engine import Simulator
 from repro.units import ms
+from repro.workload.generator import homogeneous_specs
 
 
 class Loopback:
@@ -134,3 +138,83 @@ def test_start_is_idempotent():
     sim.run(until=1.0)
     # One ping per round, not two.
     assert manager.pings_sent <= 21
+
+
+# ---------------------------------------------------------------------------
+# CrashInjector: scheduled crash / recovery
+# ---------------------------------------------------------------------------
+
+
+def make_service(seed=5, n_spares=0):
+    service = RTPBService(seed=seed, n_spares=n_spares)
+    specs = homogeneous_specs(3, window=ms(200), client_period=ms(100))
+    service.register_all(specs)
+    service.create_client(specs)
+    service.start()
+    return service
+
+
+def test_recover_at_brings_server_back_as_spare():
+    service = make_service()
+    primary = service.primary_server
+    service.injector.crash_at(2.0, primary)
+    service.injector.recover_at(6.0, primary)
+    service.run(10.0)
+    assert primary.alive
+    assert primary.role is not Role.PRIMARY
+    recovered = service.trace.select("server_recover")
+    assert recovered and recovered[0].time == pytest.approx(6.0)
+
+
+def test_recover_after_is_relative_to_now():
+    service = make_service()
+    backup = service.backup_server
+    service.run(1.0)
+    service.injector.crash_at(2.0, backup)
+    service.injector.recover_after(4.0, backup)  # now=1.0 -> recovers at 5.0
+    service.run(10.0)
+    recovered = service.trace.select("server_recover")
+    assert recovered and recovered[0].time == pytest.approx(5.0)
+    assert backup.alive
+
+
+def test_crash_for_schedules_both_ends_of_the_outage():
+    service = make_service()
+    backup = service.backup_server
+    service.injector.crash_for(2.0, outage=1.5, server=backup)
+    service.run(8.0)
+    crashes = service.trace.select("server_crash")
+    recoveries = service.trace.select("server_recover")
+    assert crashes and crashes[0].time == pytest.approx(2.0)
+    assert recoveries and recoveries[0].time == pytest.approx(3.5)
+
+
+def test_crash_for_rejects_nonpositive_outage():
+    service = make_service()
+    with pytest.raises(ValueError):
+        service.injector.crash_for(2.0, outage=0.0,
+                                   server=service.backup_server)
+
+
+def test_recover_on_live_server_is_a_no_op():
+    service = make_service()
+    backup = service.backup_server
+    service.injector.recover_at(3.0, backup)
+    service.run(5.0)
+    assert backup.role is Role.BACKUP  # untouched: still the pair's backup
+    assert not service.trace.select("server_recover")
+
+
+def test_recovered_backup_is_rerecruited_by_primary():
+    """After a backup outage the primary recruits the recovered host and
+    replication resumes (the rejoin path end-to-end)."""
+    service = make_service()
+    backup = service.backup_server
+    service.injector.crash_for(2.0, outage=2.0, server=backup)
+    service.run(12.0)
+    assert service.trace.select("backup_lost")
+    assert backup.alive and backup.role is Role.BACKUP
+    assert service.primary_server.peer_address == backup.host.address
+    late_applies = [record for record in service.trace.select("backup_apply")
+                    if record.time > 4.0]
+    assert late_applies, "replication never resumed after the rejoin"

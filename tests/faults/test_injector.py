@@ -1,0 +1,188 @@
+"""Unit tests for the fault injector: arming, firing, target resolution."""
+
+import pytest
+
+from repro.core.server import Role
+from repro.core.service import (
+    BACKUP_ADDRESS,
+    PRIMARY_ADDRESS,
+    RTPBService,
+)
+from repro.errors import ProtocolError, ReplicationError
+from repro.faults.actions import (
+    ClockDrift,
+    CrashServer,
+    DelaySpike,
+    DuplicateMessages,
+    LossBurst,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+from repro.net.link import BernoulliLoss, NoLoss
+from repro.units import ms
+from repro.workload.generator import homogeneous_specs
+
+
+def make_service(seed=5, n_spares=0):
+    service = RTPBService(seed=seed, n_spares=n_spares)
+    specs = homogeneous_specs(3, window=ms(200), client_period=ms(100))
+    service.register_all(specs)
+    service.create_client(specs)
+    service.start()
+    return service
+
+
+def test_armed_schedule_fires_at_virtual_times():
+    service = make_service()
+    schedule = FaultSchedule().crash(3.0, "primary")
+    injector = FaultInjector(service, schedule)
+    injector.arm()
+    service.run(10.0)
+    assert not service.primary_server.alive
+    assert injector.applied == [
+        {"time": 3.0, "kind": "crash", "target": "primary"}]
+    fault_records = service.trace.select("fault_injected")
+    assert len(fault_records) == 1 and fault_records[0].time == 3.0
+
+
+def test_arm_is_idempotent():
+    service = make_service()
+    injector = FaultInjector(service, FaultSchedule().crash(3.0, "backup"))
+    injector.arm()
+    injector.arm()
+    service.run(5.0)
+    assert len(injector.applied) == 1
+
+
+def test_role_targets_resolve_at_fire_time():
+    """'primary' at t=8 must hit the *promoted* backup, not address 1."""
+    service = make_service()
+    schedule = FaultSchedule().crash(3.0, "primary").crash(8.0, "primary")
+    injector = FaultInjector(service, schedule)
+    injector.arm()
+    service.run(12.0)
+    assert not service.primary_server.alive   # the original, at t=3
+    assert not service.backup_server.alive    # promoted, then hit at t=8
+
+
+def test_unresolvable_role_target_is_a_noop():
+    service = make_service()  # no spares: after backup dies there is none
+    schedule = FaultSchedule().crash(2.0, "backup").crash(6.0, "backup")
+    injector = FaultInjector(service, schedule)
+    injector.arm()
+    service.run(10.0)
+    # Both entries fired (and were logged); the second found no backup.
+    assert len(injector.applied) == 2
+    assert service.primary_server.alive
+
+
+def test_resolution_by_address_and_name():
+    service = make_service()
+    injector = FaultInjector(service)
+    assert injector.resolve_server(PRIMARY_ADDRESS) is service.primary_server
+    assert injector.resolve_server("backup") is service.backup_server
+    assert injector.resolve_server("nonesuch") is None
+    assert injector.resolve_address("primary") == PRIMARY_ADDRESS
+    with pytest.raises(ProtocolError):
+        injector.resolve_address("nonesuch")
+
+
+def test_inject_now_applies_immediately():
+    service = make_service()
+    injector = FaultInjector(service)
+    service.run(1.0)
+    injector.inject_now(CrashServer(BACKUP_ADDRESS))
+    assert not service.backup_server.alive
+    assert injector.applied[0]["time"] == pytest.approx(1.0)
+
+
+def test_loss_burst_swaps_and_restores_the_loss_model():
+    service = make_service()
+    baseline = service.fabric.loss_model
+    assert isinstance(baseline, NoLoss)
+    injector = FaultInjector(
+        service, FaultSchedule().loss_burst(2.0, 1.5, BernoulliLoss(0.9)))
+    injector.arm()
+    service.run(2.5)
+    assert isinstance(service.fabric.loss_model, BernoulliLoss)
+    service.run(4.0)
+    assert service.fabric.loss_model is baseline
+
+
+def test_delay_spike_restores_the_delay_window():
+    service = make_service()
+    before = (service.fabric.delay_min, service.fabric.delay_bound)
+    injector = FaultInjector(
+        service, FaultSchedule().delay_spike(2.0, 1.0, factor=4.0))
+    injector.arm()
+    service.run(2.5)
+    assert service.fabric.delay_bound == pytest.approx(before[1] * 4.0)
+    service.run(4.0)
+    assert (service.fabric.delay_min,
+            service.fabric.delay_bound) == pytest.approx(before)
+
+
+def test_duplicate_and_corrupt_windows_restore():
+    service = make_service()
+    schedule = (FaultSchedule()
+                .duplicate(1.0, 2.0, probability=1.0)
+                .corrupt(1.0, 2.0, probability=0.5))
+    injector = FaultInjector(service, schedule)
+    injector.arm()
+    service.run(2.0)
+    assert service.fabric.duplicate_probability == 1.0
+    assert service.fabric.corrupt_probability == 0.5
+    service.run(4.0)
+    assert service.fabric.duplicate_probability == 0.0
+    assert service.fabric.corrupt_probability == 0.0
+    assert service.fabric.messages_duplicated > 0
+
+
+def test_clock_drift_applies_and_snaps_back():
+    service = make_service()
+    injector = FaultInjector(
+        service,
+        FaultSchedule().clock_drift(1.0, BACKUP_ADDRESS, scale=2.0,
+                                    duration=2.0))
+    injector.arm()
+    service.run(2.0)
+    assert service.backup_server.ping.clock_scale == 2.0
+    service.run(4.0)
+    assert service.backup_server.ping.clock_scale == 1.0
+
+
+def test_partition_and_recover_cycle_restores_the_pair():
+    """Crash the backup inside a partition, heal, recover: the pair reforms."""
+    service = make_service()
+    schedule = (FaultSchedule()
+                .partition_window(2.0, 4.0, PRIMARY_ADDRESS, BACKUP_ADDRESS)
+                .crash(3.0, BACKUP_ADDRESS)
+                .recover(6.0, BACKUP_ADDRESS))
+    injector = FaultInjector(service, schedule)
+    injector.arm()
+    service.run(15.0)
+    assert not service.fabric.is_partitioned(PRIMARY_ADDRESS, BACKUP_ADDRESS)
+    assert service.backup_server.alive
+    assert service.backup_server.role is Role.BACKUP
+    assert service.primary_server.peer_address == BACKUP_ADDRESS
+
+
+def test_arming_past_faults_rejected():
+    service = make_service()
+    service.run(5.0)
+    injector = FaultInjector(service, FaultSchedule().crash(1.0, "primary"))
+    with pytest.raises(ProtocolError):
+        injector.arm()
+
+
+def test_past_action_validation_errors_surface():
+    service = make_service()
+    injector = FaultInjector(service)
+    with pytest.raises(ProtocolError):
+        injector.inject_now(LossBurst(-1.0, BernoulliLoss(0.5)))
+    with pytest.raises(ProtocolError):
+        injector.inject_now(DelaySpike(1.0, factor=0.0))
+    with pytest.raises(ProtocolError):
+        injector.inject_now(DuplicateMessages(1.0, probability=2.0))
+    with pytest.raises(ReplicationError):
+        injector.inject_now(ClockDrift("backup", scale=0.0))

@@ -1,0 +1,130 @@
+"""End-to-end chaos runs: compound faults, rejoin, and determinism.
+
+These tests drive whole deployments through the fault layer and assert on
+the *protocol's* behaviour — who ends up primary, whether the pair reforms,
+and that a chaos run is an exactly repeatable function of its seed.
+"""
+
+from repro.core.server import Role
+from repro.core.service import (
+    BACKUP_ADDRESS,
+    PRIMARY_ADDRESS,
+    RTPBService,
+)
+from repro.experiments.harness import run_scenario
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+from repro.units import ms
+from repro.workload.generator import homogeneous_specs
+from repro.workload.scenarios import Scenario
+
+
+def make_service(seed=5, n_spares=0):
+    service = RTPBService(seed=seed, n_spares=n_spares)
+    specs = homogeneous_specs(3, window=ms(200), client_period=ms(100))
+    service.register_all(specs)
+    service.create_client(specs)
+    service.start()
+    return service
+
+
+def test_crash_during_partition_leaves_one_live_primary():
+    """The primary dies *while partitioned from its backup*; the backup has
+    already promoted on its side, so after the heal exactly one live
+    primary remains and client writes keep flowing."""
+    service = make_service()
+    schedule = (FaultSchedule()
+                .partition(3.0, PRIMARY_ADDRESS, BACKUP_ADDRESS)
+                .crash(5.0, PRIMARY_ADDRESS)
+                .heal(7.0, PRIMARY_ADDRESS, BACKUP_ADDRESS))
+    FaultInjector(service, schedule).arm()
+    service.run(15.0)
+    live_primaries = [server for server in service.servers.values()
+                      if server.alive and server.role is Role.PRIMARY]
+    assert len(live_primaries) == 1
+    assert live_primaries[0] is service.backup_server
+    assert service.name_service.lookup("rtpb") == BACKUP_ADDRESS
+    late_writes = [record for record in service.trace.select("client_response")
+                   if record["issue"] > 8.0]
+    assert late_writes, "client writes never resumed after the crash"
+
+
+def test_backup_promotes_then_old_primary_rejoins_as_its_backup():
+    """Full promotion + rejoin cycle: primary crashes, backup takes over,
+    the old primary reboots and is recruited as the *new* backup, and
+    replication resumes between the swapped pair."""
+    service = make_service()
+    schedule = (FaultSchedule()
+                .crash(3.0, PRIMARY_ADDRESS)
+                .recover(8.0, PRIMARY_ADDRESS))
+    FaultInjector(service, schedule).arm()
+    service.run(20.0)
+    old_primary = service.primary_server
+    new_primary = service.backup_server
+    assert new_primary.role is Role.PRIMARY
+    assert old_primary.alive and old_primary.role is Role.BACKUP
+    assert new_primary.peer_address == PRIMARY_ADDRESS
+    assert service.trace.select("recruited")
+    # Replication to the rejoined host actually happens.
+    rejoined_applies = [record for record in
+                        service.trace.select("backup_apply")
+                        if record.time > 9.0]
+    assert rejoined_applies, "no updates reached the rejoined backup"
+
+
+def test_total_blackout_splits_the_pair_and_crash_cycle_reforms_it():
+    """A total network outage longer than the detection bound makes both
+    sides declare the other dead: the backup promotes and nobody is backup
+    any more, so replication stays frozen even after ``heal_all``.  Crash-
+    cycling the deposed primary finally reforms the pair: it reboots as a
+    spare, is announced to the surviving primary, and gets recruited."""
+    service = make_service()
+    schedule = (FaultSchedule()
+                .partition_all(3.0)
+                .heal_all(5.0)
+                .crash_cycle(7.0, 1.0, PRIMARY_ADDRESS))
+    FaultInjector(service, schedule).arm()
+    service.run(15.0)
+    frozen = [record for record in service.trace.select("backup_apply")
+              if 3.5 < record.time < 8.0]
+    assert frozen == [], "no backup existed during the split; nothing to apply"
+    resumed = [record for record in service.trace.select("backup_apply")
+               if record.time > 8.5]
+    assert resumed, "replication never resumed after the rejoin"
+    assert service.backup_server.role is Role.PRIMARY
+    assert service.primary_server.role is Role.BACKUP
+    assert service.backup_server.peer_address == PRIMARY_ADDRESS
+
+
+def test_same_seed_and_schedule_produce_identical_trace_digest():
+    """Determinism: a chaos run is a pure function of (seed, schedule)."""
+    def digest(seed):
+        scenario = Scenario(n_objects=4, window=ms(200),
+                            client_period=ms(100), horizon=12.0, seed=seed,
+                            n_spares=1)
+        schedule = (FaultSchedule()
+                    .partition_window(2.0, 4.0, PRIMARY_ADDRESS,
+                                      BACKUP_ADDRESS)
+                    .crash(6.0, "primary")
+                    .duplicate(8.0, 2.0, probability=0.2))
+        result = run_scenario(scenario, fault_schedule=schedule, monitor=True)
+        return result.service.trace.digest()
+
+    assert digest(7) == digest(7)
+    assert digest(7) != digest(8)
+
+
+def test_monitored_run_digest_matches_unmonitored_protocol_events():
+    """Attaching the monitor must not perturb the protocol: every category
+    except the monitor's own violation records is identical."""
+    def run(monitor):
+        scenario = Scenario(n_objects=3, window=ms(200),
+                            client_period=ms(100), horizon=8.0, seed=4)
+        schedule = FaultSchedule().crash(3.0, "backup")
+        result = run_scenario(scenario, fault_schedule=schedule,
+                              monitor=monitor, full_trace=True)
+        return [(record.time, record.category)
+                for record in result.service.trace
+                if record.category != "invariant_violation"]
+
+    assert run(monitor=True) == run(monitor=False)

@@ -127,6 +127,106 @@ def test_partition_blocks_both_directions():
     assert len(sink_b.received) == 1
 
 
+def test_set_partition_is_symmetric_both_argument_orders():
+    """Regression: a partition keyed (a, b) must also block (b, a), and
+    healing with the arguments swapped must clear it."""
+    sim = Simulator()
+    fabric = NetworkFabric(sim, delay_bound=0.005)
+    a, b = fabric.attach(1), fabric.attach(2)
+    sink_a, sink_b = Sink(), Sink()
+    a.receiver, b.receiver = sink_a, sink_b
+    fabric.set_partition(2, 1, True)  # declared in (b, a) order
+    assert fabric.is_partitioned(1, 2) and fabric.is_partitioned(2, 1)
+    a.send(2, Message(b"x"))
+    b.send(1, Message(b"y"))
+    sim.run(until=1.0)
+    assert sink_a.received == [] and sink_b.received == []
+    fabric.set_partition(1, 2, False)  # healed in (a, b) order
+    assert not fabric.is_partitioned(2, 1)
+    a.send(2, Message(b"x"))
+    b.send(1, Message(b"y"))
+    sim.run(until=2.0)
+    assert len(sink_a.received) == 1 and len(sink_b.received) == 1
+
+
+def test_partition_all_and_heal_all():
+    sim = Simulator()
+    fabric = NetworkFabric(sim, delay_bound=0.005)
+    ports = {addr: fabric.attach(addr) for addr in (1, 2, 3)}
+    sinks = {addr: Sink() for addr in ports}
+    for addr, port in ports.items():
+        port.receiver = sinks[addr]
+    fabric.partition_all()
+    for src in ports:
+        for dst in ports:
+            if src != dst:
+                assert fabric.is_partitioned(src, dst)
+                ports[src].send(dst, Message(b"x"))
+    sim.run(until=1.0)
+    assert all(sink.received == [] for sink in sinks.values())
+    fabric.heal_all()
+    for src in ports:
+        for dst in ports:
+            if src != dst:
+                assert not fabric.is_partitioned(src, dst)
+    ports[1].send(2, Message(b"x"))
+    ports[3].send(1, Message(b"y"))
+    sim.run(until=2.0)
+    assert len(sinks[2].received) == 1 and len(sinks[1].received) == 1
+
+
+def test_duplication_delivers_extra_copy():
+    sim = Simulator(seed=5)
+    fabric, sender, sink = make_pair(sim)
+    fabric.set_duplication(1.0)
+    for _ in range(10):
+        sender.send(2, Message(b"x"))
+    sim.run(until=1.0)
+    assert fabric.messages_duplicated == 10
+    assert len(sink.received) == 20
+    assert sim.trace.select("link_duplicate")
+
+
+def test_corruption_flips_exactly_one_byte():
+    sim = Simulator(seed=5)
+    fabric, sender, sink = make_pair(sim)
+    fabric.set_corruption(1.0)
+    sender.send(2, Message(b"abcdef"))
+    sim.run(until=1.0)
+    assert fabric.messages_corrupted == 1
+    (data, _info), = sink.received
+    assert len(data) == 6
+    differing = [i for i in range(6) if data[i] != b"abcdef"[i]]
+    assert len(differing) == 1
+    assert sim.trace.select("link_corrupt")
+
+
+def test_fault_knob_validation():
+    sim = Simulator()
+    fabric = NetworkFabric(sim, delay_bound=0.005)
+    with pytest.raises(ProtocolError):
+        fabric.set_duplication(1.5)
+    with pytest.raises(ProtocolError):
+        fabric.set_corruption(-0.1)
+
+
+def test_fault_knobs_off_do_not_perturb_delivery_schedule():
+    """With duplication/corruption at zero the fabric must not consume any
+    extra randomness: the delivery timeline is byte-for-byte the baseline."""
+    def timeline(touch_knobs):
+        sim = Simulator(seed=11)
+        fabric, sender, sink = make_pair(sim)
+        if touch_knobs:
+            fabric.set_duplication(0.0)
+            fabric.set_corruption(0.0)
+        for _ in range(40):
+            sender.send(2, Message(b"x"))
+        sim.run(until=1.0)
+        return [record.time for record in sim.trace.select("link_deliver")]
+
+    assert timeline(touch_knobs=True) == timeline(touch_knobs=False)
+
+
 def test_port_down_drops_silently():
     sim = Simulator()
     fabric, sender, sink = make_pair(sim)

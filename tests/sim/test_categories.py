@@ -1,0 +1,55 @@
+"""Every trace category recorded in the library must be declared.
+
+:mod:`repro.sim.categories` is the vocabulary of :meth:`Tracer.record`; this
+test greps the source tree so a misspelled category string fails loudly
+instead of producing a silently empty ``trace.select``.
+"""
+
+import re
+from pathlib import Path
+
+from repro.sim import categories
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: ``trace.record("name", ...)`` with the literal possibly on the next line.
+RECORD_CALL = re.compile(r'trace\.record\(\s*"([a-z_]+)"')
+
+
+def recorded_categories():
+    found = {}
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        for name in RECORD_CALL.findall(path.read_text(encoding="utf-8")):
+            found.setdefault(name, path)
+    return found
+
+
+def test_source_tree_is_scanned():
+    found = recorded_categories()
+    # Sanity: the scanner sees the core protocol events, including ones whose
+    # record() call wraps the literal onto its own line.
+    for expected in ("link_send", "primary_write", "backup_apply",
+                     "fault_injected", "invariant_violation"):
+        assert expected in found, f"scanner missed {expected!r}"
+
+
+def test_every_recorded_category_is_declared():
+    undeclared = {name: str(path) for name, path in
+                  recorded_categories().items()
+                  if name not in categories.ALL_CATEGORIES}
+    assert not undeclared, (
+        f"recorded but not declared in repro.sim.categories: {undeclared}")
+
+
+def test_constants_match_their_values():
+    # Convention: FOO_BAR = "foo_bar" — a constant whose value drifts from
+    # its name is a refactoring accident.
+    for name in dir(categories):
+        if name.isupper() and name != "ALL_CATEGORIES":
+            assert getattr(categories, name) == name.lower()
+
+
+def test_all_categories_is_complete():
+    declared = {getattr(categories, name) for name in dir(categories)
+                if name.isupper() and name != "ALL_CATEGORIES"}
+    assert categories.ALL_CATEGORIES == frozenset(declared)
