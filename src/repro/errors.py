@@ -62,7 +62,8 @@ class DeadlineMissError(SchedulingError):
     """A job missed its deadline under a scheduler configured as *hard*."""
 
     def __init__(self, message: str, task_name: str = "", job_index: int = -1,
-                 deadline: float = float("nan"), finish_time: float = float("nan")) -> None:
+                 deadline: float = float("nan"),
+                 finish_time: float = float("nan")) -> None:
         super().__init__(message)
         self.task_name = task_name
         self.job_index = job_index

@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import Callable
 
 from repro.experiments import figures
 from repro.units import ms
@@ -60,15 +61,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_figure(name: str, args: argparse.Namespace) -> None:
+def run_figure(name: str, args: argparse.Namespace, *,
+               stopwatch: Callable[[], float] = time.perf_counter) -> None:
+    """Regenerate one figure, timing the sweep with ``stopwatch``.
+
+    The stopwatch is injected (defaulting to a *reference* to
+    ``time.perf_counter``) so the wall clock never leaks into model code
+    and tests can pin the elapsed-time report.
+    """
     kwargs = {"seed": args.seed}
     if args.horizon is not None:
         kwargs["horizon"] = args.horizon
     if args.quick:
         kwargs.update(_QUICK_OVERRIDES[name])
-    started = time.time()
+    started = stopwatch()
     series = FIGURES[name](**kwargs)
-    elapsed = time.time() - started
+    elapsed = stopwatch() - started
     print(series.render())
     print(f"[{name}: {elapsed:.1f}s wall]")
     print()

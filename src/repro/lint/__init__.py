@@ -1,0 +1,44 @@
+"""AST-based determinism & real-time-safety linter (``python -m repro.lint``).
+
+The reproduction's guarantees — byte-identical chaos reports, stable trace
+digests, exact virtual-time instants for the paper's temporal-consistency
+windows — rest on a determinism contract: no wall clock, no unseeded
+randomness, no order-unstable iteration feeding the tracer.  This package
+enforces that contract mechanically; see ``docs/LINT.md`` for the rule
+catalogue, the ``# lint: disable=RULE`` suppression syntax, and the
+baseline workflow.
+
+Public API::
+
+    from repro.lint import Finding, lint_paths, lint_source, select_rules
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline
+from repro.lint.context import FileContext
+from repro.lint.engine import (DEFAULT_EXCLUDED_PARTS, SYNTAX_CODE,
+                               iter_python_files, lint_paths, lint_source,
+                               select_rules)
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, all_rules, get_rule, known_codes, register
+from repro.lint.suppress import META_CODE, Suppressions
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_EXCLUDED_PARTS",
+    "FileContext",
+    "Finding",
+    "META_CODE",
+    "Rule",
+    "SYNTAX_CODE",
+    "Suppressions",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "known_codes",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "select_rules",
+]

@@ -1,0 +1,62 @@
+"""Baseline file: grandfathered findings that do not fail the build.
+
+The baseline lets the lint gate turn on while known debt still exists: CI
+fails only on findings *not* in the checked-in baseline, so new violations
+are blocked the day the gate ships and old ones burn down on their own
+schedule.  The file is written with :func:`repro.metrics.jsonio.stable_dumps`
+so regenerating it on any machine produces byte-identical output.
+
+Baseline identity is ``(path, rule, message)`` — deliberately line-free, so
+editing code *above* a grandfathered finding does not churn the file (see
+:meth:`repro.lint.finding.Finding.baseline_key`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from repro.lint.finding import Finding
+from repro.metrics.jsonio import stable_dumps
+
+BaselineKey = Tuple[str, str, str]
+
+
+class Baseline:
+    """A set of grandfathered finding identities."""
+
+    def __init__(self, keys: Iterable[BaselineKey] = ()) -> None:
+        self._keys: Set[BaselineKey] = set(keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.baseline_key() in self._keys
+
+    def filter(self, findings: Iterable[Finding]) -> List[Finding]:
+        """Findings not covered by the baseline, in input order."""
+        return [finding for finding in findings if finding not in self]
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(finding.baseline_key() for finding in findings)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        entries = json.loads(path.read_text(encoding="utf-8"))
+        return cls((entry["path"], entry["rule"], entry["message"])
+                   for entry in entries)
+
+    def dumps(self) -> str:
+        """Stable-JSON text of the baseline (sorted, trailing newline)."""
+        entries = [{"path": path, "rule": rule, "message": message}
+                   for path, rule, message in sorted(self._keys)]
+        return stable_dumps(entries) + "\n"
+
+    def save(self, path: Path) -> None:
+        path.write_text(self.dumps(), encoding="utf-8")

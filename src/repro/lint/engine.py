@@ -1,0 +1,96 @@
+"""The lint engine: file discovery, rule execution, suppression, baseline.
+
+Pipeline per file: parse → run each selected rule → drop findings whose
+line carries a matching ``# lint: disable=`` comment → add meta-findings
+(unknown codes in disable comments, syntax errors) → subtract the baseline.
+Output is always sorted by ``(path, line, col, rule)`` so two runs over the
+same tree are byte-identical.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.context import FileContext
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, all_rules, known_codes
+from repro.lint.suppress import Suppressions
+
+#: Code for files the parser rejects (reported, not raised).
+SYNTAX_CODE = "LINT002"
+
+#: Path components skipped when *walking directories* (explicitly named
+#: files are always linted).  ``fixtures`` holds the linter's own
+#: deliberately-violating test inputs.
+DEFAULT_EXCLUDED_PARTS = frozenset({"fixtures", "__pycache__", ".git"})
+
+
+def iter_python_files(
+        paths: Sequence[Path],
+        excluded_parts: frozenset = DEFAULT_EXCLUDED_PARTS) -> List[Path]:
+    """Expand ``paths`` into a sorted list of ``.py`` files.
+
+    Directories are walked recursively, skipping any subtree whose name is
+    in ``excluded_parts``; a path given explicitly is linted even if a walk
+    would have skipped it — that is how the fixture tests point the CLI at
+    a deliberately bad file.
+    """
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                candidate for candidate in sorted(path.rglob("*.py"))
+                if not excluded_parts.intersection(candidate.parts))
+        else:
+            files.append(path)
+    return sorted(set(files))
+
+
+def select_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """All registered rules, or just the given codes (``KeyError`` on typos)."""
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = set(select)
+    unknown = wanted - {rule.code for rule in rules}
+    if unknown:
+        raise KeyError(f"unknown rule code(s): {sorted(unknown)}")
+    return [rule for rule in rules if rule.code in wanted]
+
+
+def lint_source(source: str, path: str,
+                rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint one in-memory module; suppression-aware, baseline-free."""
+    if rules is None:
+        rules = all_rules()
+    try:
+        ctx = FileContext(path, source)
+    except SyntaxError as exc:
+        return [Finding(path=path,
+                        line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                        rule=SYNTAX_CODE,
+                        message=f"syntax error: {exc.msg}")]
+    suppressions, problems = Suppressions.scan(ctx.path, source, known_codes())
+    findings: List[Finding] = list(problems)
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if not suppressions.is_suppressed(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(paths: Sequence[Path],
+               rules: Optional[Sequence[Rule]] = None,
+               baseline: Optional[Baseline] = None,
+               excluded_parts: frozenset = DEFAULT_EXCLUDED_PARTS,
+               ) -> List[Finding]:
+    """Lint files/directories; returns sorted non-baselined findings."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths, excluded_parts):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, file_path.as_posix(), rules))
+    if baseline is not None:
+        findings = baseline.filter(findings)
+    return sorted(findings)

@@ -1,0 +1,16 @@
+"""Built-in rule set; importing this package registers every rule.
+
+New rule modules must be imported here (and only here) — the registry in
+:mod:`repro.lint.registry` imports this package lazily to trigger
+registration without import cycles.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import api as _api
+from repro.lint.rules import determinism as _determinism
+from repro.lint.rules import realtime as _realtime
+from repro.lint.rules import simulation as _simulation
+from repro.lint.rules import tracing as _tracing
+
+__all__ = ["_api", "_determinism", "_realtime", "_simulation", "_tracing"]

@@ -1,0 +1,66 @@
+"""Exception-hygiene rule (API001).
+
+A simulated process that swallows an exception keeps running with partial
+state; primary and backup then *diverge silently* — the exact failure mode
+the invariant monitor exists to catch, except invisible to it.  The process
+runner (:mod:`repro.sim.process`) already re-raises unobserved crashes; this
+rule keeps handlers from defeating that.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body does nothing at all (``pass`` / ``...``)."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis):
+            continue
+        return False
+    return True
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    return (isinstance(node, ast.Name)
+            and node.id in ("Exception", "BaseException"))
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """API001 — bare ``except:`` and silently swallowed broad handlers.
+
+    Bare ``except:`` is always flagged (it even eats ``ProcessInterrupt``
+    and ``KeyboardInterrupt``).  ``except Exception:`` is flagged only when
+    the body is pure ``pass``: a handler that substitutes a value, logs a
+    trace record, or re-raises has made an explicit decision.
+    """
+
+    code = "API001"
+    summary = ("bare except: or `except Exception: pass` would let "
+               "replicas desynchronise silently")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare except: catches ProcessInterrupt and "
+                    "KeyboardInterrupt; name the exceptions you mean")
+            elif _is_broad(node) and _swallows(node):
+                yield self.finding(
+                    ctx, node,
+                    "except Exception with an empty body swallows crashes; "
+                    "handle, trace, or re-raise")

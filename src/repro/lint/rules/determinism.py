@@ -1,0 +1,197 @@
+"""Determinism rules (DET001–DET004).
+
+The simulation's reproducibility contract: virtual time comes from the
+:class:`~repro.sim.engine.Simulator` clock, randomness from named
+:class:`~repro.sim.randomness.RandomStreams` substreams, and every ordering
+that can reach a trace, report, or digest is explicit.  These rules turn
+the contract from docstring into CI failure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.context import FileContext
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+
+#: Callables that read the wall clock (qualified through import aliases).
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Module-level functions of :mod:`random` that draw from the hidden
+#: global Mersenne Twister instead of a seeded substream.
+GLOBAL_RANDOM_FUNCS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+})
+
+#: Set-returning methods: iterating their result is order-unstable.
+SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+
+
+@register
+class WallClockRule(Rule):
+    """DET001 — wall-clock reads poison virtual-time determinism.
+
+    Model code must take time from ``sim.now``; utilities that genuinely
+    need a stopwatch (CLI elapsed-time prints) accept an injectable clock
+    callable defaulting to ``time.perf_counter`` — a *reference*, which this
+    rule deliberately does not flag, only calls.
+    """
+
+    code = "DET001"
+    summary = ("wall-clock call (time.time/monotonic, datetime.now); "
+               "use sim.now or an injected clock")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.qualified_name(node.func)
+            if qualified in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock call {qualified}(); model code must use "
+                    f"the simulator clock (sim.now) or an injected clock")
+
+
+@register
+class GlobalRandomRule(Rule):
+    """DET002 — the global ``random`` module shares one hidden stream.
+
+    Drawing from ``random.random()`` couples every component's draw
+    sequence (the common-random-numbers pitfall
+    :mod:`repro.sim.randomness` exists to avoid) and ignores the root
+    seed.  Ask the simulator for a named substream instead.
+    """
+
+    code = "DET002"
+    summary = ("global random.* call; use a RandomStreams-derived "
+               "random.Random substream")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.qualified_name(node.func)
+            if qualified is None or "." not in qualified:
+                continue
+            module, func = qualified.rsplit(".", 1)
+            if module == "random" and func in GLOBAL_RANDOM_FUNCS:
+                # Only when the *module* is imported — a local variable
+                # named `random` holding a seeded instance is the pattern
+                # we are steering people toward, not a violation.
+                imports_module = (
+                    ctx.aliases.get("random") == "random"
+                    or any(value == qualified
+                           for value in ctx.aliases.values()))
+                if imports_module:
+                    yield self.finding(
+                        ctx, node,
+                        f"call to global random.{func}(); draw from a "
+                        f"sim.random.stream(name) substream instead")
+
+
+def _is_unordered_set_expr(node: ast.AST, ctx: FileContext) -> bool:
+    """Whether ``node`` evaluates to a set with no defined iteration order."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        qualified = ctx.qualified_name(node.func)
+        if qualified in ("set", "frozenset"):
+            return True
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in SET_METHODS):
+            return True
+    return False
+
+
+@register
+class SetIterationRule(Rule):
+    """DET003 — iterating a set feeds hash order into downstream output.
+
+    Set iteration order depends on insertion history and element hashes;
+    once it reaches a trace record, a report row, or any accumulated list,
+    two identical runs can diverge.  Wrap the set in ``sorted(...)`` (the
+    stable-JSON writer does this for *serialised* sets, but not for orders
+    baked in earlier).
+    """
+
+    code = "DET003"
+    summary = ("iteration over a set/frozenset expression without "
+               "sorted(); order is not deterministic")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        iterables: List[ast.AST] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, ast.comprehension):
+                iterables.append(node.iter)
+        for iterable in iterables:
+            if _is_unordered_set_expr(iterable, ctx):
+                yield self.finding(
+                    ctx, iterable,
+                    "iteration over an unordered set expression; wrap it "
+                    "in sorted(...) so traces and reports are stable")
+
+
+@register
+class IdentityOrderingRule(Rule):
+    """DET004 — ``id()``/``hash()`` ordering keys vary between runs.
+
+    ``id`` is an address and ``hash`` is salted for strings; a sort keyed
+    on either produces a different order every process.  Key on a stable
+    field (name, sequence number) instead.
+    """
+
+    code = "DET004"
+    summary = "sort/min/max key built from id() or hash()"
+
+    _ORDERING_CALLS = frozenset({"sorted", "min", "max"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.qualified_name(node.func)
+            is_ordering = (
+                qualified in self._ORDERING_CALLS
+                or (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "sort"))
+            if not is_ordering:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "key":
+                    continue
+                for name in self._identity_refs(keyword.value):
+                    yield self.finding(
+                        ctx, keyword.value,
+                        f"ordering key uses {name}(), which differs "
+                        f"between runs; key on a stable field instead")
+
+    @staticmethod
+    def _identity_refs(key_expr: ast.AST) -> Iterator[str]:
+        # `key=id` (bare reference) or any id()/hash() call inside a lambda.
+        if isinstance(key_expr, ast.Name) and key_expr.id in ("id", "hash"):
+            yield key_expr.id
+            return
+        for node in ast.walk(key_expr):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in ("id", "hash")):
+                yield node.func.id

@@ -1,0 +1,67 @@
+"""Real-time-safety rule (RT001).
+
+The paper's temporal-consistency windows are checked against float virtual
+timestamps; exact ``==`` on derived floats is the classic way to make a
+window check pass on one platform's rounding and fail on another's.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+
+#: Identifiers that name a virtual timestamp by library convention.
+TIMESTAMP_NAME = re.compile(
+    r"(^|_)(time|timestamp|deadline|instant|now)(_ns)?$")
+
+
+def _names_timestamp(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute):
+        return TIMESTAMP_NAME.search(node.attr) is not None
+    if isinstance(node, ast.Name):
+        return TIMESTAMP_NAME.search(node.id) is not None
+    return False
+
+
+@register
+class FloatTimeEqualityRule(Rule):
+    """RT001 — exact equality on virtual timestamps.
+
+    Timestamps are floats produced by arithmetic on periods and offsets;
+    compare windows with ``<=`` bounds or the :mod:`repro.units` helpers
+    rather than ``==``/``!=``.  Library code only — a test asserting the
+    exact instant an event it *scheduled* fired at is legitimate.
+    """
+
+    code = "RT001"
+    summary = ("== / != on a virtual timestamp; use window bounds or "
+               "repro.units helpers")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_src:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                pair = (left, right)
+                if not any(_names_timestamp(side) for side in pair):
+                    continue
+                # `x == None` (or a None sentinel on either side) is an
+                # identity question, not a float-precision one.
+                if any(isinstance(side, ast.Constant)
+                       and side.value is None for side in pair):
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    "exact ==/!= comparison on a virtual timestamp; "
+                    "floats from period arithmetic need window bounds "
+                    "(<=) or repro.units helpers")

@@ -1,0 +1,70 @@
+"""Trace-vocabulary rule (TR001).
+
+:mod:`repro.sim.categories` declares every category a library component may
+record; a typo in a ``trace.record("...")`` call would otherwise produce a
+silently empty ``trace.select`` in the collectors.  This rule is the
+promotion of the original ``tests/sim/test_categories.py`` regex scanner
+into the linter: that test now simply asserts this rule finds nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.context import FileContext
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+from repro.sim.categories import ALL_CATEGORIES
+
+#: Tracer methods whose first positional argument is a category name.
+CATEGORY_METHODS = frozenset({"record", "select"})
+
+
+def _receiver_name(func: ast.Attribute) -> Optional[str]:
+    """Terminal name of the receiver: ``self.sim.trace`` -> ``trace``."""
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return None
+
+
+@register
+class UndeclaredCategoryRule(Rule):
+    """TR001 — trace categories must be declared in repro.sim.categories.
+
+    Applies to library code only: tests that exercise the ``Tracer``
+    itself legitimately record throwaway categories ("tick", "x").
+    Receivers are matched by name (the terminal identifier contains
+    ``trace``), mirroring the convention of the codebase —
+    ``self.sim.trace.record(...)``; unrelated ``.record()`` methods (e.g.
+    a metrics history) are ignored.
+    """
+
+    code = "TR001"
+    summary = ("trace category literal not declared in "
+               "repro.sim.categories")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_src:
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in CATEGORY_METHODS
+                    and node.args):
+                continue
+            receiver = _receiver_name(node.func)
+            if receiver is None or "trace" not in receiver.lower():
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)):
+                continue
+            if first.value not in ALL_CATEGORIES:
+                yield self.finding(
+                    ctx, first,
+                    f"trace category {first.value!r} is not declared in "
+                    f"repro.sim.categories")

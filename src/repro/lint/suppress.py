@@ -1,0 +1,78 @@
+"""Inline suppression comments: ``# lint: disable=RULE``.
+
+A suppression comment silences the named rule(s) on exactly the physical
+line the comment sits on — there is no block or file scope, which keeps a
+``git grep 'lint: disable'`` an honest inventory of every accepted
+violation.  Several rules separate with commas::
+
+    t = time.time()  # lint: disable=DET001
+    x = {a, b}; emit(x)  # lint: disable=DET003,TR001
+
+Unknown rule codes in a disable comment are themselves reported (as
+``LINT001``) so a typo cannot silently disable nothing.  Comments are found
+with :mod:`tokenize`, not a regex over raw lines, so a string literal that
+merely *contains* ``# lint: disable=`` does not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.finding import Finding
+
+#: Meta-code for problems with suppression comments themselves.
+META_CODE = "LINT001"
+
+_DISABLE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def _comments(source: str) -> Iterator[Tuple[int, int, str]]:
+    """Yield ``(line, col, text)`` for every comment token in ``source``."""
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The parser reports the syntax error; suppression just stops early.
+        return
+
+
+class Suppressions:
+    """Per-line disabled rule codes for one file."""
+
+    def __init__(self, disabled: Dict[int, Set[str]]) -> None:
+        self._disabled = disabled
+
+    @classmethod
+    def scan(cls, path: str, source: str,
+             known_codes: frozenset) -> Tuple["Suppressions", List[Finding]]:
+        """Parse ``source``; return suppressions plus meta-findings.
+
+        Meta-findings are ``LINT001`` reports for disable comments naming a
+        rule code that is not registered.
+        """
+        disabled: Dict[int, Set[str]] = {}
+        problems: List[Finding] = []
+        for line, col, text in _comments(source):
+            match = _DISABLE.search(text)
+            if match is None:
+                continue
+            for raw in match.group(1).split(","):
+                code = raw.strip()
+                if not code:
+                    continue
+                if code in known_codes or code == META_CODE:
+                    disabled.setdefault(line, set()).add(code)
+                else:
+                    problems.append(Finding(
+                        path=path, line=line, col=col, rule=META_CODE,
+                        message=f"unknown rule {code!r} in disable comment"))
+        return cls(disabled), problems
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether ``finding``'s line disables its rule."""
+        return finding.rule in self._disabled.get(finding.line, ())

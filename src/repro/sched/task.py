@@ -62,7 +62,8 @@ class Task:
 
     def __post_init__(self) -> None:
         if self.period <= 0:
-            raise InvalidTaskError(f"{self.name}: period must be > 0, got {self.period}")
+            raise InvalidTaskError(
+                f"{self.name}: period must be > 0, got {self.period}")
         if self.wcet <= 0:
             raise InvalidTaskError(f"{self.name}: wcet must be > 0, got {self.wcet}")
         if self.wcet > self.period:

@@ -1,0 +1,22 @@
+"""Fixture: API001 — bare except and swallowed broad handlers."""
+
+
+def swallow_badly(apply_update, update):
+    try:
+        apply_update(update)
+    except:                      # API001 (line 7): bare except
+        update = None
+    try:
+        apply_update(update)
+    except Exception:            # API001 (line 11): swallowed
+        pass
+    return update
+
+
+def explicit_handling_is_fine(apply_update, update, trace):
+    try:
+        apply_update(update)
+    except ValueError:
+        trace.append(("garbled", update))
+    except Exception:
+        raise

@@ -1,0 +1,15 @@
+"""Fixture: DET001 — wall-clock reads in model code."""
+
+import time as walltime
+from datetime import datetime
+
+
+def elapsed_badly():
+    started = walltime.time()          # DET001 (line 8)
+    stamp = datetime.now()             # DET001 (line 9)
+    return walltime.perf_counter() - started, stamp  # DET001 (line 10)
+
+
+def injected_is_fine(stopwatch=walltime.perf_counter):
+    # A *reference* as an injectable default is the sanctioned pattern.
+    return stopwatch()

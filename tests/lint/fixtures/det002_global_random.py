@@ -1,0 +1,15 @@
+"""Fixture: DET002 — drawing from the global random module."""
+
+import random
+from random import randint
+
+
+def draw_badly():
+    jitter = random.random()       # DET002 (line 8)
+    port = randint(1024, 65535)    # DET002 (line 9)
+    return jitter, port
+
+
+def seeded_instance_is_fine(stream):
+    # A RandomStreams-derived random.Random instance is the whole point.
+    return stream.random()

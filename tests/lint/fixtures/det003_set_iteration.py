@@ -1,0 +1,13 @@
+"""Fixture: DET003 — iterating sets in hash order."""
+
+
+def emit_badly(trace, names):
+    for name in set(names):                    # DET003 (line 5)
+        trace.append(name)
+    rows = [item for item in {"b", "a"}]       # DET003 (line 7)
+    return rows
+
+
+def sorted_is_fine(trace, names):
+    for name in sorted(set(names)):
+        trace.append(name)

@@ -1,0 +1,11 @@
+"""Fixture: DET004 — ordering keyed on id()/hash()."""
+
+
+def order_badly(servers):
+    by_address = sorted(servers, key=id)                 # DET004 (line 5)
+    servers.sort(key=lambda s: hash(s.name))             # DET004 (line 6)
+    return by_address
+
+
+def stable_key_is_fine(servers):
+    return sorted(servers, key=lambda s: s.name)

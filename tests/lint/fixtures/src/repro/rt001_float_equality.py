@@ -1,0 +1,15 @@
+"""Fixture: RT001 — exact float equality on virtual timestamps."""
+
+
+def check_badly(update, window_end):
+    if update.timestamp == window_end:          # RT001 (line 5)
+        return True
+    return update.deadline != window_end        # RT001 (line 7)
+
+
+def window_bounds_are_fine(update, window_start, window_end):
+    return window_start <= update.timestamp <= window_end
+
+
+def none_sentinel_is_fine(update):
+    return update.commit_time == None  # noqa: E711 — identity, not precision

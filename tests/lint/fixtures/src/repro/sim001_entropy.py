@@ -1,0 +1,9 @@
+"""Fixture: SIM001 — OS entropy sources in library code."""
+
+import os
+import uuid                      # SIM001 (line 4)
+from secrets import token_hex    # SIM001 (line 5)
+
+
+def name_badly():
+    return uuid.uuid4().hex, token_hex(4), os.urandom(8)  # SIM001 (urandom)

@@ -1,0 +1,73 @@
+"""Baseline behaviour: grandfathering, stable round-trip, line-independence."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint import Baseline, Finding, lint_paths
+from repro.metrics.jsonio import stable_dumps
+
+
+def findings_for(tmp_path: Path, code: str):
+    module = tmp_path / "src" / "repro" / "example.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(textwrap.dedent(code), encoding="utf-8")
+    return module, lint_paths([module])
+
+
+def test_baseline_filters_known_findings(tmp_path):
+    module, findings = findings_for(tmp_path, """\
+        import time
+
+        def f():
+            return time.time()
+        """)
+    assert [f.rule for f in findings] == ["DET001"]
+    baseline = Baseline.from_findings(findings)
+    assert baseline.filter(findings) == []
+    # A *new* violation in the same file is not covered.
+    new = Finding(path=findings[0].path, line=9, col=0, rule="DET002",
+                  message="call to global random.random(); draw from a "
+                          "sim.random.stream(name) substream instead")
+    assert baseline.filter([new]) == [new]
+
+
+def test_baseline_identity_ignores_line_numbers(tmp_path):
+    _, findings = findings_for(tmp_path, """\
+        import time
+
+        def f():
+            return time.time()
+        """)
+    baseline = Baseline.from_findings(findings)
+    shifted = [Finding(path=f.path, line=f.line + 40, col=f.col + 3,
+                       rule=f.rule, message=f.message) for f in findings]
+    # Edits above a grandfathered finding must not resurrect it.
+    assert baseline.filter(shifted) == []
+
+
+def test_baseline_round_trips_through_stable_json(tmp_path):
+    _, findings = findings_for(tmp_path, """\
+        import time, random
+
+        def f():
+            return time.time(), random.random()
+        """)
+    baseline = Baseline.from_findings(findings)
+    path = tmp_path / "lint-baseline.json"
+    baseline.save(path)
+
+    # The file is exactly what the stable-JSON writer produces ...
+    entries = json.loads(path.read_text(encoding="utf-8"))
+    assert path.read_text(encoding="utf-8") == stable_dumps(entries) + "\n"
+
+    # ... and loading + re-saving is byte-identical (full round-trip).
+    reloaded = Baseline.load(path)
+    assert reloaded.dumps() == baseline.dumps()
+    assert len(reloaded) == len(findings)
+    assert reloaded.filter(findings) == []
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "does-not-exist.json")
+    assert len(baseline) == 0

@@ -1,0 +1,96 @@
+"""CLI behaviour: exit codes, report formats, baseline workflow, walking."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint.__main__ import main
+
+HERE = Path(__file__).parent
+FIXTURES = HERE / "fixtures"
+
+
+def write_violation(tmp_path: Path) -> Path:
+    tree = tmp_path / "src" / "repro"
+    tree.mkdir(parents=True)
+    (tree / "clock.py").write_text(textwrap.dedent("""\
+        import time
+
+        def f():
+            return time.time()
+        """), encoding="utf-8")
+    return tmp_path / "src"
+
+
+def test_findings_exit_nonzero_with_location(capsys):
+    status = main([str(FIXTURES / "det001_wall_clock.py")])
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "det001_wall_clock.py:8:14: DET001" in out
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    tree = tmp_path / "src" / "repro"
+    tree.mkdir(parents=True)
+    (tree / "ok.py").write_text("x = 1\n", encoding="utf-8")
+    assert main(["src"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_json_report_is_stable_and_parseable(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    src = write_violation(tmp_path)
+    assert main([str(src), "--format", "json"]) == 1
+    first = capsys.readouterr().out
+    report = json.loads(first)
+    assert report["count"] == 1
+    assert report["findings"][0]["rule"] == "DET001"
+    assert report["findings"][0]["line"] == 4
+    assert main([str(src), "--format", "json"]) == 1
+    assert capsys.readouterr().out == first  # byte-identical reruns
+
+
+def test_rules_catalogue_lists_every_rule(capsys):
+    assert main(["--rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("DET001", "DET002", "DET003", "DET004",
+                 "RT001", "TR001", "SIM001", "API001"):
+        assert code in out
+
+
+def test_select_runs_only_named_rules(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    src = write_violation(tmp_path)
+    assert main([str(src), "--select", "TR001"]) == 0
+    assert main([str(src), "--select", "DET001"]) == 1
+
+
+def test_unknown_select_code_is_a_usage_error(capsys):
+    assert main(["--select", "NOPE99", str(FIXTURES)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_a_usage_error(capsys):
+    assert main(["definitely/not/here"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_directory_walk_skips_fixture_trees(tmp_path, monkeypatch, capsys):
+    # Walking tests/lint finds nothing: the fixtures directory (full of
+    # deliberate violations) is excluded unless named explicitly.
+    monkeypatch.chdir(HERE.parents[1])
+    assert main(["tests/lint"]) == 0
+
+
+def test_update_baseline_grandfathers_current_findings(
+        tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    write_violation(tmp_path)
+    assert main(["src"]) == 1
+    capsys.readouterr()
+    assert main(["src", "--update-baseline"]) == 0
+    assert "wrote 1 finding(s)" in capsys.readouterr().out
+    # Baselined: the gate passes; --no-baseline still shows the debt.
+    assert main(["src"]) == 0
+    assert main(["src", "--no-baseline"]) == 1

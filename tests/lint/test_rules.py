@@ -1,0 +1,75 @@
+"""One fixture test per rule: the rule fires where the fixture says.
+
+Each fixture under ``fixtures/`` violates exactly one rule (src-only rules
+live under ``fixtures/src/repro/`` so path-based scoping engages) and also
+contains a "fine" variant proving the rule does not overreach.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def hits(fixture: str):
+    """``{(rule, line), ...}`` for one fixture file, no baseline."""
+    findings = lint_paths([FIXTURES / fixture])
+    return {(finding.rule, finding.line) for finding in findings}
+
+
+def test_det001_wall_clock():
+    assert hits("det001_wall_clock.py") == {
+        ("DET001", 8), ("DET001", 9), ("DET001", 10)}
+    # Notably absent: line 13's injectable default, a bare reference.
+
+
+def test_det002_global_random():
+    assert hits("det002_global_random.py") == {
+        ("DET002", 8), ("DET002", 9)}
+    # Notably absent: line 15's draw from a seeded instance.
+
+
+def test_det003_set_iteration():
+    assert hits("det003_set_iteration.py") == {
+        ("DET003", 5), ("DET003", 7)}
+    # Notably absent: line 12's sorted(set(...)).
+
+
+def test_det004_identity_ordering():
+    assert hits("det004_identity_keys.py") == {
+        ("DET004", 5), ("DET004", 6)}
+    # Notably absent: line 11's stable-field key.
+
+
+def test_rt001_float_time_equality():
+    assert hits("src/repro/rt001_float_equality.py") == {
+        ("RT001", 5), ("RT001", 7)}
+    # Notably absent: window bounds (line 11) and the None sentinel.
+
+
+def test_tr001_undeclared_category():
+    assert hits("src/repro/tr001_undeclared_category.py") == {
+        ("TR001", 9), ("TR001", 13)}
+    # Notably absent: line 10, which records a declared category.
+
+
+def test_sim001_entropy_imports():
+    assert hits("src/repro/sim001_entropy.py") == {
+        ("SIM001", 4), ("SIM001", 5), ("SIM001", 9)}
+    # Notably absent: `import os` itself (line 3) — only urandom calls.
+
+
+def test_api001_swallowed_exceptions():
+    assert hits("api001_swallowed.py") == {
+        ("API001", 7), ("API001", 11)}
+    # Notably absent: the explicit ValueError/re-raise handlers.
+
+
+def test_src_only_rules_stay_out_of_test_code():
+    # The same RT001/TR001/SIM001 violations outside a src/repro path
+    # produce nothing: tests may assert exact instants and mint uuids.
+    from repro.lint import lint_source
+    source = (FIXTURES / "src" / "repro"
+              / "rt001_float_equality.py").read_text(encoding="utf-8")
+    assert lint_source(source, "tests/anywhere/example.py") == []

@@ -1,0 +1,69 @@
+"""Suppression semantics: one comment silences one rule on one line."""
+
+import textwrap
+
+from repro.lint import META_CODE, lint_source
+
+
+def lint(code: str):
+    return lint_source(textwrap.dedent(code), "src/repro/example.py")
+
+
+def test_disable_silences_exactly_its_own_line():
+    findings = lint("""\
+        import time
+
+        def f():
+            a = time.time()  # lint: disable=DET001
+            b = time.time()
+            return a, b
+        """)
+    # Line 4 is suppressed; the identical call on line 5 still reports.
+    assert [(f.rule, f.line) for f in findings] == [("DET001", 5)]
+
+
+def test_disable_names_only_the_listed_rules():
+    findings = lint("""\
+        import time, random
+
+        def f():
+            return time.time(), random.random()  # lint: disable=DET001
+        """)
+    # DET001 suppressed, DET002 on the same line is not.
+    assert [(f.rule, f.line) for f in findings] == [("DET002", 4)]
+
+
+def test_comma_separated_codes_all_apply():
+    findings = lint("""\
+        import time, random
+
+        def f():
+            return time.time(), random.random()  # lint: disable=DET001,DET002
+        """)
+    assert findings == []
+
+
+def test_unknown_rule_in_disable_comment_is_reported():
+    findings = lint("""\
+        import time
+
+        def f():
+            return time.time()  # lint: disable=DET999
+        """)
+    codes = [(f.rule, f.line) for f in findings]
+    # The typo'd comment suppresses nothing and is itself a finding.
+    assert (META_CODE, 4) in codes
+    assert ("DET001", 4) in codes
+    meta = next(f for f in findings if f.rule == META_CODE)
+    assert "DET999" in meta.message
+
+
+def test_disable_inside_a_string_literal_is_not_a_suppression():
+    findings = lint("""\
+        import time
+
+        def f():
+            doc = "example:  # lint: disable=DET001"
+            return doc, time.time()
+        """)
+    assert [(f.rule, f.line) for f in findings] == [("DET001", 5)]

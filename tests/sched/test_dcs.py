@@ -141,7 +141,8 @@ def test_timetable_input_length_mismatch():
         build_timetable(["a"], [0.01, 0.02], [0.1])
 
 
-@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=10_000))
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=0, max_value=10_000))
 @settings(max_examples=60, deadline=None)
 def test_timetable_random_harmonic_sets(n, seed):
     import random

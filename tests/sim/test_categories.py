@@ -1,44 +1,39 @@
 """Every trace category recorded in the library must be declared.
 
-:mod:`repro.sim.categories` is the vocabulary of :meth:`Tracer.record`; this
-test greps the source tree so a misspelled category string fails loudly
-instead of producing a silently empty ``trace.select``.
+:mod:`repro.sim.categories` is the vocabulary of :meth:`Tracer.record`.
+Enforcement lives in the linter's TR001 rule (``repro.lint``); this test is
+the thin tier-1 assertion that the rule finds zero violations over the
+library tree, so deleting a still-emitted category (or misspelling one at a
+call site) fails here *and* in the CI lint gate — one implementation, two
+nets.
 """
 
-import re
 from pathlib import Path
 
+from repro.lint import lint_paths, lint_source, select_rules
 from repro.sim import categories
 
 SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
 
-#: ``trace.record("name", ...)`` with the literal possibly on the next line.
-RECORD_CALL = re.compile(r'trace\.record\(\s*"([a-z_]+)"')
+
+def test_no_undeclared_categories_in_the_library():
+    findings = lint_paths([SRC_ROOT], rules=select_rules(["TR001"]))
+    assert findings == [], (
+        "trace categories recorded but not declared in "
+        f"repro.sim.categories: {[f.render() for f in findings]}")
 
 
-def recorded_categories():
-    found = {}
-    for path in sorted(SRC_ROOT.rglob("*.py")):
-        for name in RECORD_CALL.findall(path.read_text(encoding="utf-8")):
-            found.setdefault(name, path)
-    return found
-
-
-def test_source_tree_is_scanned():
-    found = recorded_categories()
-    # Sanity: the scanner sees the core protocol events, including ones whose
-    # record() call wraps the literal onto its own line.
-    for expected in ("link_send", "primary_write", "backup_apply",
-                     "fault_injected", "invariant_violation"):
-        assert expected in found, f"scanner missed {expected!r}"
-
-
-def test_every_recorded_category_is_declared():
-    undeclared = {name: str(path) for name, path in
-                  recorded_categories().items()
-                  if name not in categories.ALL_CATEGORIES}
-    assert not undeclared, (
-        f"recorded but not declared in repro.sim.categories: {undeclared}")
+def test_tr001_would_catch_an_undeclared_category():
+    # Guard against the rule going silently toothless: a category absent
+    # from the registry must produce a finding when recorded in library
+    # code, including when the literal wraps onto its own line.
+    source = ('class M:\n'
+              '    def go(self, update):\n'
+              '        self.sim.trace.record(\n'
+              '            "no_such_category_ever", seq=update.seq)\n')
+    findings = lint_source(source, "src/repro/fake.py",
+                           rules=select_rules(["TR001"]))
+    assert [(f.rule, f.line) for f in findings] == [("TR001", 4)]
 
 
 def test_constants_match_their_values():
