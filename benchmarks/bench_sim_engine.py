@@ -1,16 +1,20 @@
 """Substrate microbenchmarks: DES throughput and protocol-stack cost.
 
 Sanity that the figure sweeps are tractable and a regression guard for the
-event loop, the preemptive processor, and the UDP/IP encode-decode path.
+event loop, the queue's liveness accounting, the tracer's category index,
+the preemptive processor, and the UDP/IP encode-decode path.  The
+machine-readable counterpart of these benches lives in ``repro.bench``
+(``python -m repro.bench --only sim_engine,queue_churn,tracer_select``).
 """
 
+from repro.bench.registry import SCENARIOS
 from repro.net.ip import Host
 from repro.net.link import NetworkFabric
 from repro.sched import EDFScheduler, Processor, Task
 from repro.sim.engine import Simulator
 
 
-def test_event_loop_throughput(benchmark):
+def test_event_loop_throughput(benchmark, record_counters):
     def run():
         sim = Simulator()
         count = 20_000
@@ -23,10 +27,50 @@ def test_event_loop_throughput(benchmark):
 
         sim.schedule(0.001, tick)
         sim.run()
-        return state["fired"]
+        return state["fired"], sim.events_executed
 
-    fired = benchmark(run)
+    fired, events = benchmark(run)
     assert fired == 20_000
+    assert events == 20_000
+    record_counters("sim_event_loop", {"fired": fired, "events": events})
+
+
+def test_cancel_heavy_event_loop(benchmark, record_counters):
+    """The watchdog pattern: every tick cancels and re-arms a deadline timer."""
+
+    def run():
+        sim = Simulator()
+        stats = SCENARIOS["sim_engine"](True)
+        del sim
+        return stats
+
+    stats = benchmark(run)
+    assert stats.events_executed > 20_000
+    record_counters("sim_cancel_heavy", {
+        "events_executed": stats.events_executed,
+        "peak_live_events": stats.peak_live_events,
+        "extra": stats.extra,
+    })
+
+
+def test_queue_churn_liveness(benchmark, record_counters):
+    """Raw EventQueue churn: lazy cancellation must not leak live counts."""
+
+    stats = benchmark(SCENARIOS["queue_churn"], True)
+    assert stats.extra["final_len"] == 0
+    record_counters("sim_queue_churn", {"extra": stats.extra})
+
+
+def test_tracer_indexed_select(benchmark, record_counters):
+    """Metrics-style per-object selects must not scan unrelated categories."""
+
+    stats = benchmark(SCENARIOS["tracer_select"], True)
+    assert stats.trace_records == 20_000
+    record_counters("sim_tracer_select", {
+        "digest": stats.digest,
+        "trace_records": stats.trace_records,
+        "extra": stats.extra,
+    })
 
 
 def test_processor_preemption_throughput(benchmark):

@@ -1,0 +1,119 @@
+"""Diff two BENCH documents and flag throughput regressions.
+
+The gated metric is ``events_per_sec`` where both documents report it,
+falling back to ``wall_s`` otherwise.  A bench regresses when its new
+throughput falls below ``(1 - threshold)`` times the old (equivalently:
+wall time grows past ``1 / (1 - threshold)``).  Digest drift between
+revisions is reported but not gated — model changes legitimately move
+digests; refresh the committed baseline alongside such changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One bench's old-vs-new reading of the gated metric."""
+
+    name: str
+    metric: str
+    old: float
+    new: float
+    #: Throughput-style ratio: > 1 means the new revision is faster.
+    speedup: float
+    regression: bool
+
+
+@dataclass(frozen=True)
+class CompareReport:
+    """Everything ``--compare`` found, renderable and exit-code ready."""
+
+    threshold: float
+    deltas: List[Delta] = field(default_factory=list)
+    #: Benches only in the old document (coverage shrank).
+    missing: List[str] = field(default_factory=list)
+    #: Benches only in the new document.
+    added: List[str] = field(default_factory=list)
+    #: Benches whose deterministic digests differ (informational).
+    digest_changes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [delta for delta in self.deltas if delta.regression]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressions else 0
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for delta in self.deltas:
+            marker = "REGRESSION" if delta.regression else "ok"
+            lines.append(
+                f"{marker:10s} {delta.name}: {delta.metric} "
+                f"{delta.old:,.1f} -> {delta.new:,.1f} "
+                f"({delta.speedup:.2f}x)")
+        for name in self.missing:
+            lines.append(f"{'missing':10s} {name}: not in the new document")
+        for name in self.added:
+            lines.append(f"{'added':10s} {name}: no old baseline")
+        for name in self.digest_changes:
+            lines.append(
+                f"{'digest':10s} {name}: deterministic digest changed "
+                f"(refresh the baseline if intended)")
+        summary = (f"{len(self.regressions)} regression(s) out of "
+                   f"{len(self.deltas)} compared bench(es) "
+                   f"at threshold {self.threshold:.0%}")
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def _gated_metric(old: Mapping[str, Any],
+                  new: Mapping[str, Any]) -> Optional[Tuple[str, float, float,
+                                                            float]]:
+    """``(metric, old, new, speedup)`` for one bench, or ``None``."""
+    old_rate = old.get("events_per_sec")
+    new_rate = new.get("events_per_sec")
+    if old_rate and new_rate:
+        return ("events_per_sec", float(old_rate), float(new_rate),
+                float(new_rate) / float(old_rate))
+    old_wall = old.get("wall_s")
+    new_wall = new.get("wall_s")
+    if old_wall and new_wall:
+        return ("wall_s", float(old_wall), float(new_wall),
+                float(old_wall) / float(new_wall))
+    return None
+
+
+def compare_documents(old: Mapping[str, Any], new: Mapping[str, Any],
+                      threshold: float = 0.2) -> CompareReport:
+    """Compare two BENCH documents; flag drops worse than ``threshold``."""
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1): {threshold!r}")
+    old_benches = dict(old.get("benches", {}))
+    new_benches = dict(new.get("benches", {}))
+    deltas: List[Delta] = []
+    digest_changes: List[str] = []
+    for name in sorted(old_benches):
+        if name not in new_benches:
+            continue
+        gated = _gated_metric(old_benches[name], new_benches[name])
+        if gated is not None:
+            metric, old_value, new_value, speedup = gated
+            deltas.append(Delta(
+                name=name, metric=metric, old=old_value, new=new_value,
+                speedup=speedup, regression=speedup < 1.0 - threshold))
+        old_digest = old_benches[name].get("digest")
+        new_digest = new_benches[name].get("digest")
+        if old_digest and new_digest and old_digest != new_digest:
+            digest_changes.append(name)
+    return CompareReport(
+        threshold=threshold,
+        deltas=deltas,
+        missing=sorted(set(old_benches) - set(new_benches)),
+        added=sorted(set(new_benches) - set(old_benches)),
+        digest_changes=digest_changes,
+    )

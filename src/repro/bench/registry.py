@@ -1,0 +1,378 @@
+"""Named benchmark scenarios.
+
+Each scenario is a callable taking ``quick`` (shrink the workload for CI
+smoke runs) and returning :class:`BenchStats` — the *deterministic* counters
+of the work it performed.  Wall timing happens in
+:mod:`repro.bench.runner`; scenarios themselves never read a clock, so two
+runs of the same scenario on the same revision report byte-identical
+counters and digests.
+
+The names mirror the ``benchmarks/bench_*.py`` suite (``sim_engine``,
+``fig08_distance_vs_loss``, ``chaos_scenarios``, ...) plus queue/tracer
+microbenchmarks that exercise the DES hot paths directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.trace import Tracer
+from repro.units import ms
+
+
+@dataclass(frozen=True)
+class BenchStats:
+    """Deterministic counters one scenario reports (``None`` = not tracked)."""
+
+    #: Events the simulator dispatched (throughput numerator).
+    events_executed: Optional[int] = None
+    #: High-water mark of live (non-cancelled) queued events.
+    peak_live_events: Optional[int] = None
+    #: Records held by the tracer at the end of the run.
+    trace_records: Optional[int] = None
+    #: Whole-trace fingerprint; must be revision-stable for fixed seeds.
+    digest: Optional[str] = None
+    #: Scenario-specific counters (all JSON-able and deterministic).
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+BenchFunc = Callable[[bool], BenchStats]
+
+SCENARIOS: Dict[str, BenchFunc] = {}
+
+
+def register(name: str) -> Callable[[BenchFunc], BenchFunc]:
+    """Class-free registration decorator for scenario callables."""
+
+    def _register(func: BenchFunc) -> BenchFunc:
+        if name in SCENARIOS:
+            raise ValueError(f"duplicate bench scenario {name!r}")
+        SCENARIOS[name] = func
+        return func
+
+    return _register
+
+
+def _noop() -> None:
+    """The cheapest possible event payload."""
+
+
+def _peak_live(sim: Simulator) -> Optional[int]:
+    """Peak live-event count, when the queue tracks it (post-O(1) queue)."""
+    peak = getattr(sim, "peak_pending_events", None)
+    return int(peak) if peak is not None else None
+
+
+class _Clock:
+    """Hand-cranked virtual clock for tracer-only scenarios."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def read(self) -> float:
+        return self.t
+
+
+# ---------------------------------------------------------------------------
+# DES core microbenchmarks
+# ---------------------------------------------------------------------------
+
+
+@register("sim_engine")
+def sim_engine(quick: bool) -> BenchStats:
+    """Event-loop hot path: tick chain, timeout cancel/re-arm, liveness probes.
+
+    Models the shape of a real protocol run: a dense chain of dispatches, a
+    standing population of deadline timers that are cancelled and re-armed
+    on every tick (the watchdog/timeout pattern), and a periodic probe that
+    samples ``pending_events()`` the way online monitors and stats
+    collectors do.  A queue that scans the heap to answer liveness queries
+    pays for it here.
+    """
+    sim = Simulator(seed=1)
+    ticks = 20_000 if quick else 200_000
+    standing = 1_000 if quick else 5_000
+    tick_dt = 0.0005
+    probe_dt = 0.01
+    timeout = 5.0
+
+    timers: List[Event] = [
+        sim.schedule(timeout + index * tick_dt, _noop)
+        for index in range(standing)
+    ]
+    state = {"fired": 0, "probe_sum": 0, "probes": 0}
+    horizon = ticks * tick_dt
+
+    def tick() -> None:
+        n = state["fired"]
+        state["fired"] = n + 1
+        slot = n % standing
+        timers[slot].cancel()
+        timers[slot] = sim.schedule(timeout, _noop)
+        if n + 1 < ticks:
+            sim.schedule(tick_dt, tick)
+
+    def probe() -> None:
+        state["probe_sum"] += sim.pending_events()
+        state["probes"] += 1
+        if sim.now < horizon:
+            sim.schedule(probe_dt, probe)
+
+    sim.schedule(tick_dt, tick)
+    sim.schedule(probe_dt, probe)
+    sim.run()
+    return BenchStats(
+        events_executed=sim.events_executed,
+        peak_live_events=_peak_live(sim),
+        trace_records=len(sim.trace),
+        extra={"ticks": state["fired"], "probes": state["probes"],
+               "probe_sum": state["probe_sum"]},
+    )
+
+
+@register("queue_churn")
+def queue_churn(quick: bool) -> BenchStats:
+    """Cancel-heavy :class:`EventQueue` churn without a simulator.
+
+    A ring of timers is cancelled and re-pushed far more often than events
+    are consumed — the workload where lazily-cancelled entries accumulate
+    and periodic compaction pays off.  The drained count at the end checks
+    liveness accounting end to end.
+    """
+    queue = EventQueue()
+    rounds = 50_000 if quick else 500_000
+    window = 1_024
+
+    pending: List[Event] = [queue.push(float(index), _noop)
+                            for index in range(window)]
+    pushes = window
+    t = float(window)
+    for index in range(rounds):
+        slot = index % window
+        pending[slot].cancel()
+        pending[slot] = queue.push(t, _noop)
+        t += 1.0
+        pushes += 1
+    drained = 0
+    while queue:
+        queue.pop()
+        drained += 1
+    return BenchStats(
+        extra={"pushes": pushes, "cancels": rounds, "drained": drained,
+               "final_len": len(queue)},
+    )
+
+
+_TRACE_CATEGORIES = ("primary_write", "backup_apply", "client_response",
+                     "update_sent", "link_send")
+
+
+@register("tracer_select")
+def tracer_select(quick: bool) -> BenchStats:
+    """Metrics-style per-object ``select()`` sweeps over a mixed trace.
+
+    The figure collectors issue one ``select(category, object=i)`` per
+    object per metric; a tracer that scans the whole store per query turns
+    every figure into an objects-times-trace product.
+    """
+    clock = _Clock()
+    tracer = Tracer(clock=clock.read)
+    n_objects = 32
+    rows = 20_000 if quick else 100_000
+    for index in range(rows):
+        clock.t += 0.001
+        category = _TRACE_CATEGORIES[index % len(_TRACE_CATEGORIES)]
+        tracer.record(category, object=index % n_objects, seq=index)
+    passes = 1 if quick else 5
+    selected = 0
+    for _ in range(passes):
+        for obj in range(n_objects):
+            selected += len(tracer.select("primary_write", object=obj))
+            selected += len(tracer.select("backup_apply", object=obj))
+        histogram = tracer.categories()
+    return BenchStats(
+        trace_records=len(tracer),
+        digest=tracer.digest(),
+        extra={"selected": selected, "categories": len(histogram)},
+    )
+
+
+# ---------------------------------------------------------------------------
+# End-to-end service / figure / chaos scenarios
+# ---------------------------------------------------------------------------
+
+
+@register("service_run")
+def service_run(quick: bool) -> BenchStats:
+    """One representative RTPB deployment run (the figures' unit of work)."""
+    from repro.experiments.harness import run_scenario
+    from repro.workload.scenarios import Scenario
+
+    scenario = Scenario(
+        n_objects=8 if quick else 24,
+        window=ms(200.0),
+        client_period=ms(100.0),
+        loss_probability=0.02,
+        horizon=5.0 if quick else 15.0,
+        seed=4,
+    )
+    result = run_scenario(scenario)
+    sim = result.service.sim
+    return BenchStats(
+        events_executed=sim.events_executed,
+        peak_live_events=_peak_live(sim),
+        trace_records=len(result.service.trace),
+        digest=result.service.trace.digest(),
+        extra={"admitted": result.admitted,
+               "responses": result.response.count,
+               "delivery_rate": result.delivery_rate},
+    )
+
+
+def _series_stats(series: Any) -> BenchStats:
+    """Stats for a figure sweep: point counts plus a rendered-table digest."""
+    rendered = series.render()
+    points = sum(len(points) for _, points in sorted(series.curves.items()))
+    return BenchStats(
+        digest=hashlib.sha256(rendered.encode()).hexdigest(),
+        extra={"curves": len(series.curves), "points": points},
+    )
+
+
+def _figure_bench(func_name: str, full_kwargs: Mapping[str, Any],
+                  quick_kwargs: Mapping[str, Any]) -> BenchFunc:
+    def _run(quick: bool) -> BenchStats:
+        from repro.experiments import figures
+
+        figure_func = getattr(figures, func_name)
+        series = figure_func(**(quick_kwargs if quick else full_kwargs))
+        return _series_stats(series)
+
+    _run.__doc__ = f"Figure sweep :func:`repro.experiments.figures.{func_name}`."
+    return _run
+
+
+_COUNTS = (8, 24, 40, 56)
+_FIGURES: Sequence[Any] = (
+    ("fig06_response_time_ac", "figure6_response_time_with_admission",
+     dict(object_counts=_COUNTS, windows=(ms(100.0), ms(200.0), ms(400.0)),
+          horizon=8.0),
+     dict(object_counts=(8, 32), windows=(ms(100.0), ms(400.0)),
+          horizon=4.0)),
+    ("fig07_response_time_noac", "figure7_response_time_without_admission",
+     dict(object_counts=_COUNTS, windows=(ms(100.0), ms(200.0), ms(400.0)),
+          horizon=8.0),
+     dict(object_counts=(8, 56), windows=(ms(100.0), ms(400.0)),
+          horizon=4.0)),
+    ("fig08_distance_vs_loss", "figure8_distance_vs_loss",
+     dict(loss_probabilities=(0.0, 0.02, 0.06, 0.10),
+          write_periods=(ms(50.0), ms(100.0), ms(200.0)),
+          n_objects=8, horizon=15.0),
+     dict(loss_probabilities=(0.0, 0.10),
+          write_periods=(ms(50.0), ms(200.0)), n_objects=8, horizon=6.0)),
+    ("fig09_distance_ac", "figure9_distance_with_admission",
+     dict(object_counts=_COUNTS, windows=(ms(100.0), ms(200.0)),
+          loss_probability=0.02, horizon=10.0),
+     dict(object_counts=(8, 56), windows=(ms(100.0),),
+          loss_probability=0.02, horizon=5.0)),
+    ("fig10_distance_noac", "figure10_distance_without_admission",
+     dict(object_counts=_COUNTS, windows=(ms(100.0), ms(200.0)),
+          loss_probability=0.02, horizon=10.0),
+     dict(object_counts=(8, 56), windows=(ms(100.0),),
+          loss_probability=0.02, horizon=5.0)),
+    ("fig11_inconsistency_normal", "figure11_inconsistency_normal",
+     dict(loss_probabilities=(0.0, 0.05, 0.10),
+          windows=(ms(50.0), ms(100.0), ms(200.0)),
+          n_objects=24, horizon=15.0),
+     dict(loss_probabilities=(0.0, 0.10), windows=(ms(50.0), ms(200.0)),
+          n_objects=8, horizon=6.0)),
+    ("fig12_inconsistency_compressed", "figure12_inconsistency_compressed",
+     dict(loss_probabilities=(0.0, 0.05, 0.10),
+          windows=(ms(50.0), ms(100.0), ms(200.0)),
+          n_objects=24, horizon=15.0),
+     dict(loss_probabilities=(0.0, 0.10), windows=(ms(50.0), ms(200.0)),
+          n_objects=8, horizon=6.0)),
+)
+
+for _name, _func_name, _full, _quick in _FIGURES:
+    register(_name)(_figure_bench(_func_name, _full, _quick))
+
+
+@register("chaos_scenarios")
+def chaos_scenarios(quick: bool) -> BenchStats:
+    """The chaos catalogue under the online invariant monitor."""
+    from repro.faults.report import run_chaos
+    from repro.faults.scenarios import SCENARIOS as CHAOS
+
+    names = sorted(CHAOS)
+    if quick:
+        names = names[:2]
+    events = 0
+    records = 0
+    violations = 0
+    peaks: List[int] = []
+    hasher = hashlib.sha256()
+    for name in names:
+        run = run_chaos(name, seed=1)
+        service = run.result.service
+        events += service.sim.events_executed
+        records += len(service.trace)
+        violations += len(run.violations)
+        peak = _peak_live(service.sim)
+        if peak is not None:
+            peaks.append(peak)
+        hasher.update(run.trace_digest.encode())
+    return BenchStats(
+        events_executed=events,
+        peak_live_events=max(peaks) if peaks else None,
+        trace_records=records,
+        digest=hasher.hexdigest(),
+        extra={"scenarios": len(names), "violations": violations},
+    )
+
+
+@register("failover_latency")
+def failover_latency_bench(quick: bool) -> BenchStats:
+    """Crash-to-takeover sweep across heartbeat periods (Section 4.4)."""
+    from repro.core.service import RTPBService
+    from repro.core.spec import ServiceConfig
+    from repro.metrics.collectors import failover_latency
+    from repro.workload.generator import homogeneous_specs
+
+    periods = (ms(50.0), ms(100.0)) if quick else (
+        ms(25.0), ms(50.0), ms(100.0), ms(200.0))
+    crash_at = 3.0
+    horizon = 12.0
+    events = 0
+    records = 0
+    peaks: List[int] = []
+    latencies: List[Optional[float]] = []
+    for period in periods:
+        config = ServiceConfig(ping_period=period, ping_timeout=period / 2.0,
+                               ping_max_misses=3)
+        service = RTPBService(seed=4, config=config, n_spares=1)
+        specs = homogeneous_specs(3, window=ms(200.0),
+                                  client_period=ms(100.0))
+        service.register_all(specs)
+        service.create_client(specs)
+        service.start()
+        service.injector.crash_at(crash_at, service.primary_server)
+        service.run(horizon)
+        latencies.append(failover_latency(service))
+        events += service.sim.events_executed
+        records += len(service.trace)
+        peak = _peak_live(service.sim)
+        if peak is not None:
+            peaks.append(peak)
+    return BenchStats(
+        events_executed=events,
+        peak_live_events=max(peaks) if peaks else None,
+        trace_records=records,
+        extra={"latencies_ms": [round(latency * 1e3, 3)
+                                if latency is not None else None
+                                for latency in latencies]},
+    )

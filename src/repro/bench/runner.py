@@ -1,0 +1,83 @@
+"""Suite runner: execute scenarios, wall-time each, build the JSON document.
+
+The document is serialised with :func:`repro.metrics.jsonio.stable_dumps`
+(sorted keys, no NaN) so diffs between two ``BENCH_*.json`` files are
+meaningful.  Wall times naturally vary between machines; everything else in
+the document (event counts, peak live events, trace sizes, digests) is
+deterministic for a fixed revision and seed set.
+
+The stopwatch is injected (defaulting to a *reference* to
+``time.perf_counter``) so the wall clock never leaks into model code and
+tests can pin the timing fields.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.bench.registry import SCENARIOS, BenchStats
+
+#: Bump when the document layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def resolve_names(names: Optional[Iterable[str]] = None) -> List[str]:
+    """Validate and order a scenario selection (default: the whole suite)."""
+    if names is None:
+        return sorted(SCENARIOS)
+    selected = list(names)
+    unknown = sorted(name for name in selected if name not in SCENARIOS)
+    if unknown:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(
+            f"unknown bench scenario(s) {', '.join(unknown)}; known: {known}")
+    return selected
+
+
+def _bench_entry(stats: BenchStats, wall: float) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "wall_s": round(wall, 6),
+        "events_executed": stats.events_executed,
+        "peak_live_events": stats.peak_live_events,
+        "trace_records": stats.trace_records,
+        "digest": stats.digest,
+        "extra": dict(stats.extra),
+    }
+    if stats.events_executed is not None and wall > 0:
+        entry["events_per_sec"] = round(stats.events_executed / wall, 1)
+    else:
+        entry["events_per_sec"] = None
+    return entry
+
+
+def run_suite(names: Optional[Iterable[str]] = None, quick: bool = False,
+              rev: str = "unversioned",
+              stopwatch: Callable[[], float] = time.perf_counter,
+              echo: Optional[Callable[[str], None]] = None
+              ) -> Dict[str, Any]:
+    """Run the selected scenarios and return the BENCH document (a dict)."""
+    selected = resolve_names(names)
+    benches: Dict[str, Any] = {}
+    suite_started = stopwatch()
+    for name in selected:
+        started = stopwatch()
+        stats = SCENARIOS[name](quick)
+        wall = stopwatch() - started
+        benches[name] = _bench_entry(stats, wall)
+        if echo is not None:
+            rate = benches[name]["events_per_sec"]
+            rate_text = f" ({rate:,.0f} ev/s)" if rate else ""
+            echo(f"{name}: {wall:.2f}s{rate_text}")
+    return {
+        "schema": SCHEMA_VERSION,
+        "meta": {
+            "rev": rev,
+            "quick": quick,
+            "python": platform.python_version(),
+            "scenarios": selected,
+            "suite_wall_s": round(stopwatch() - suite_started, 6),
+        },
+        "benches": benches,
+    }

@@ -15,6 +15,7 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from repro.experiments.harness import RunResult, run_scenario
 from repro.faults.scenarios import SCENARIOS, ChaosScenario, build
+from repro.metrics.collectors import duplicate_deliveries
 from repro.metrics.jsonio import jsonable
 
 
@@ -89,6 +90,7 @@ def report_dict(run: ChaosRunResult) -> Dict[str, Any]:
             "avg_max_distance": result.avg_max_distance,
             "avg_inconsistency": result.avg_inconsistency,
             "delivery_rate": result.delivery_rate,
+            "duplicate_deliveries": duplicate_deliveries(result.service),
         }),
         "network": {
             "messages_sent": fabric.messages_sent,

@@ -17,6 +17,8 @@ from repro.metrics.collectors import (
     average_max_distance,
     backup_external_violations,
     distance_timeline,
+    duplicate_deliveries,
+    failover_latencies,
     failover_latency,
     inconsistency_durations,
     max_distance_per_object,
@@ -43,9 +45,11 @@ __all__ = [
     "primary_external_violations",
     "backup_external_violations",
     "failover_latency",
+    "failover_latencies",
     "distance_timeline",
     "unanswered_writes",
     "update_delivery_rate",
+    "duplicate_deliveries",
     "Table",
     "Series",
     "RunSummary",

@@ -277,25 +277,63 @@ def backup_external_violations(service: RTPBService, start: float,
 # ---------------------------------------------------------------------------
 
 
-def failover_latency(service: RTPBService) -> Optional[float]:
-    """Crash-to-takeover latency, or None if no failover happened."""
+def failover_latencies(service: RTPBService) -> List[float]:
+    """Crash-to-takeover latency for *each* primary crash, in crash order.
+
+    Each primary crash is paired with the next failover at or after it (a
+    failover consumed by one crash is not reused for a later one).  A crash
+    the service never recovered from contributes nothing, so under repeated
+    chaos-style crashes the list length is the number of *completed*
+    failovers, not ``len(crashes)``.
+    """
     crashes = service.trace.select("server_crash", role="primary")
     failovers = service.trace.select("failover")
-    if not crashes or not failovers:
-        return None
-    return failovers[0].time - crashes[0].time
+    latencies: List[float] = []
+    index = 0
+    for crash in crashes:
+        while index < len(failovers) and failovers[index].time < crash.time:
+            index += 1
+        if index >= len(failovers):
+            break
+        latencies.append(failovers[index].time - crash.time)
+        index += 1
+    return latencies
+
+
+def failover_latency(service: RTPBService) -> Optional[float]:
+    """Latency of the *first* completed failover, or None if none happened."""
+    latencies = failover_latencies(service)
+    return latencies[0] if latencies else None
 
 
 def update_delivery_rate(service: RTPBService) -> float:
-    """Fraction of transmitted updates that *arrived* at the backup.
+    """Ratio of backup arrivals to transmitted updates.
 
     Arrivals include stale-rejected duplicates: the slack-factor-2 schedule
     deliberately re-sends unchanged snapshots, and those arriving duplicates
-    are deliveries, not losses.
+    are deliveries, not losses.  The ratio is *not* clamped — a value above
+    1.0 means the network duplicated messages, and hiding that would mask
+    the very pathology the chaos reports exist to surface (see
+    :func:`duplicate_deliveries`).
     """
     sent = len(service.trace.select("update_sent"))
     if sent == 0:
         return 1.0
-    arrived = (len(service.trace.select("backup_apply"))
-               + len(service.trace.select("backup_apply_stale")))
-    return min(1.0, arrived / sent)
+    return _update_arrivals(service) / sent
+
+
+def duplicate_deliveries(service: RTPBService) -> int:
+    """Lower bound on network-duplicated update deliveries.
+
+    Computed as ``max(0, arrivals - sent)``: every arrival beyond the send
+    count must be a duplicate.  It is a lower bound because when loss and
+    duplication occur together, each lost original cancels one duplicated
+    copy in the arithmetic.
+    """
+    sent = len(service.trace.select("update_sent"))
+    return max(0, _update_arrivals(service) - sent)
+
+
+def _update_arrivals(service: RTPBService) -> int:
+    return (len(service.trace.select("backup_apply"))
+            + len(service.trace.select("backup_apply_stale")))

@@ -42,6 +42,7 @@ class Simulator:
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
+        self._events_executed = 0
         self.random = RandomStreams(seed)
         self.trace = Tracer(clock=lambda: self._now)
 
@@ -54,6 +55,11 @@ class Simulator:
         """Current virtual time in seconds."""
         return self._now
 
+    @property
+    def events_executed(self) -> int:
+        """Total events dispatched over this simulator's lifetime."""
+        return self._events_executed
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -61,14 +67,14 @@ class Simulator:
     def schedule(self, delay: float, callback: Callable[..., Any],
                  *args: Any) -> Event:
         """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
-        if delay < 0 or math.isnan(delay):
-            raise SimTimeError(f"negative or NaN delay: {delay!r}")
+        if delay < 0 or not math.isfinite(delay):
+            raise SimTimeError(f"negative or non-finite delay: {delay!r}")
         return self._queue.push(self._now + delay, callback, args)
 
     def schedule_at(self, time: float, callback: Callable[..., Any],
                     *args: Any) -> Event:
         """Run ``callback(*args)`` at absolute virtual ``time``."""
-        if time < self._now or math.isnan(time):
+        if time < self._now or not math.isfinite(time):
             raise SimTimeError(
                 f"cannot schedule at {time!r}: current time is {self._now!r}")
         return self._queue.push(time, callback, args)
@@ -92,6 +98,7 @@ class Simulator:
             return False
         event = self._queue.pop()
         self._now = event.time
+        self._events_executed += 1
         event.callback(*event.args)
         return True
 
@@ -104,8 +111,9 @@ class Simulator:
         ``sim.now`` see the full horizon.  Returns the number of events run.
 
         ``max_events`` is a safety valve for tests exercising potentially
-        unbounded models; exceeding it raises
-        :class:`~repro.errors.SimTimeError`.
+        unbounded models: exactly ``max_events`` events execute, then
+        :class:`~repro.errors.SimTimeError` is raised if another event is
+        still due within the horizon.
         """
         if self._running:
             raise SimStoppedError("run() called re-entrantly from a callback")
@@ -124,11 +132,13 @@ class Simulator:
                     break
                 if self._stopped:
                     break
-                self.step()
-                count += 1
-                if max_events is not None and count > max_events:
+                if max_events is not None and count >= max_events:
+                    # An (N+1)th event is due within the horizon — the model
+                    # outran its budget.  Nothing beyond N ever executes.
                     raise SimTimeError(
                         f"exceeded max_events={max_events} (runaway model?)")
+                self.step()
+                count += 1
         finally:
             self._running = False
         if until is not None and not self._stopped and self._now < until:
@@ -140,8 +150,13 @@ class Simulator:
         self._stopped = True
 
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events in the queue."""
+        """Number of live (non-cancelled) events in the queue.  O(1)."""
         return len(self._queue)
+
+    @property
+    def peak_pending_events(self) -> int:
+        """High-water mark of the live-event count (capacity planning)."""
+        return self._queue.peak_live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self._now:.6f} pending={len(self._queue)}>"

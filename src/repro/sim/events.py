@@ -4,6 +4,14 @@ The queue is a binary heap keyed on ``(time, sequence)``.  The sequence number
 makes ordering *total* and *deterministic*: two events scheduled for the same
 instant always fire in scheduling order, so simulations are reproducible
 independent of hash seeds or dict ordering.
+
+Liveness accounting is O(1): the queue maintains a live-event counter on
+push/pop/cancel/clear instead of scanning the heap, so ``len(queue)``,
+``bool(queue)`` and the engine's ``pending_events()`` are constant-time even
+under cancel-heavy workloads.  Cancellation stays lazy (the entry remains in
+the heap until popped), but when cancelled entries outnumber live ones the
+queue compacts — rebuilding the heap from the live events — so the heap's
+size, push cost, and memory stay proportional to the *live* population.
 """
 
 from __future__ import annotations
@@ -23,23 +31,32 @@ class Event:
     :meth:`cancel`.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_queue")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[..., Any], args: tuple) -> None:
+                 callback: Callable[..., Any], args: tuple,
+                 queue: Optional["EventQueue"] = None) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
         """Prevent the event from firing.
 
         Cancellation is lazy: the entry stays in the heap and is discarded
-        when popped, which keeps cancel O(1).
+        when popped, which keeps cancel O(1) (amortised — the owning queue
+        compacts when cancelled entries pile up).  Cancelling twice, or
+        cancelling an event that already fired, is harmless.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._on_cancel()
+            self._queue = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -53,21 +70,40 @@ class Event:
 class EventQueue:
     """Deterministic min-heap of :class:`Event` objects."""
 
+    #: Compaction never triggers below this many cancelled entries — tiny
+    #: heaps are cheaper to scan lazily than to rebuild.
+    _COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
+        self._live = 0
+        self._peak_live = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return any(not event.cancelled for event in self._heap)
+        return self._live > 0
+
+    @property
+    def peak_live(self) -> int:
+        """High-water mark of the live-event count over the queue's lifetime."""
+        return self._peak_live
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled entries still occupying heap slots (diagnostics)."""
+        return len(self._heap) - self._live
 
     def push(self, time: float, callback: Callable[..., Any],
              args: tuple = ()) -> Event:
         """Schedule ``callback(*args)`` at virtual ``time`` and return the event."""
-        event = Event(time, next(self._counter), callback, args)
+        event = Event(time, next(self._counter), callback, args, self)
         heapq.heappush(self._heap, event)
+        self._live += 1
+        if self._live > self._peak_live:
+            self._peak_live = self._live
         return event
 
     def peek_time(self) -> Optional[float]:
@@ -85,11 +121,35 @@ class EventQueue:
         self._discard_cancelled()
         if not self._heap:
             raise SimTimeError("pop from an empty event queue")
-        return heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        # Detach: a later cancel() on the fired event must not corrupt the
+        # live count (and needs no queue reference to be harmless).
+        event._queue = None
+        return event
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
+        self._live = 0
+
+    def _on_cancel(self) -> None:
+        self._live -= 1
+        cancelled = len(self._heap) - self._live
+        if (cancelled >= self._COMPACT_MIN_CANCELLED
+                and cancelled > self._live):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live events only.
+
+        O(live) and deterministic: heapify compares ``(time, seq)`` pairs,
+        so the resulting pop order is identical to the lazy order.
+        """
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
 
     def _discard_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:

@@ -6,6 +6,12 @@ and consistency checkers consume these rows after the run; tests assert on
 them directly.  Online observers (the fault subsystem's invariant monitor)
 :meth:`~Tracer.subscribe` instead and see every record as it is produced,
 independently of the storage filter.
+
+Storage is indexed by category: :meth:`Tracer.select` touches only the
+queried category's records and :meth:`Tracer.categories` is a dict copy,
+so the per-object queries the metric collectors issue stop scanning the
+whole trace.  Iteration order, :meth:`Tracer.digest`, and the storage
+filter semantics are unchanged from the scan implementation.
 """
 
 from __future__ import annotations
@@ -40,6 +46,9 @@ class Tracer:
     def __init__(self, clock: Callable[[], float]) -> None:
         self._clock = clock
         self._records: List[TraceRecord] = []
+        #: Per-category view of ``_records`` (same record objects, same
+        #: relative order); keys appear in first-recorded order.
+        self._by_category: Dict[str, List[TraceRecord]] = {}
         self._enabled: Optional[frozenset] = None  # None means "all"
         self._listeners: List[Callable[[TraceRecord], None]] = []
 
@@ -59,7 +68,23 @@ class Tracer:
         for listener in self._listeners:
             listener(record)
         if not filtered:
-            self._records.append(record)
+            self._store(record)
+
+    def ingest(self, record: TraceRecord) -> None:
+        """Store a pre-built record, bypassing clock, filter, and listeners.
+
+        For tests and replay tooling that assemble traces by hand; normal
+        model code uses :meth:`record`.  Going through this method (never
+        ``_records`` directly) keeps the category index coherent.
+        """
+        self._store(record)
+
+    def _store(self, record: TraceRecord) -> None:
+        self._records.append(record)
+        bucket = self._by_category.get(record.category)
+        if bucket is None:
+            bucket = self._by_category[record.category] = []
+        bucket.append(record)
 
     def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
         """Start delivering every record to ``listener`` as it is produced."""
@@ -81,19 +106,25 @@ class Tracer:
         self._enabled = None
 
     def select(self, category: str, **matches: Any) -> List[TraceRecord]:
-        """Records of ``category`` whose fields equal all of ``matches``."""
+        """Records of ``category`` whose fields equal all of ``matches``.
+
+        Touches only the queried category's records — O(category size),
+        not O(trace size).
+        """
+        bucket = self._by_category.get(category)
+        if not bucket:
+            return []
+        if not matches:
+            return list(bucket)
         return [
-            record for record in self._records
-            if record.category == category
-            and all(record.get(key) == value for key, value in matches.items())
+            record for record in bucket
+            if all(record.get(key) == value for key, value in matches.items())
         ]
 
     def categories(self) -> Dict[str, int]:
         """Histogram of category -> record count (diagnostics)."""
-        counts: Dict[str, int] = {}
-        for record in self._records:
-            counts[record.category] = counts.get(record.category, 0) + 1
-        return counts
+        return {category: len(bucket)
+                for category, bucket in self._by_category.items()}
 
     def digest(self) -> str:
         """SHA-256 hex digest of every stored record.
@@ -111,6 +142,7 @@ class Tracer:
 
     def clear(self) -> None:
         self._records.clear()
+        self._by_category.clear()
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)

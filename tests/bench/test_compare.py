@@ -1,0 +1,79 @@
+"""Unit tests for BENCH document comparison and regression gating."""
+
+import pytest
+
+from repro.bench.compare import compare_documents
+
+
+def doc(**benches):
+    return {"schema": 1, "meta": {"rev": "x"}, "benches": benches}
+
+
+def bench(rate=None, wall=None, digest=None):
+    return {"events_per_sec": rate, "wall_s": wall, "digest": digest}
+
+
+def test_equal_documents_pass():
+    old = doc(sim=bench(rate=100_000.0, wall=1.0))
+    report = compare_documents(old, old)
+    assert report.exit_code == 0
+    assert report.regressions == []
+    assert len(report.deltas) == 1
+
+
+def test_throughput_drop_beyond_threshold_fails():
+    old = doc(sim=bench(rate=100_000.0, wall=1.0))
+    new = doc(sim=bench(rate=60_000.0, wall=1.0))
+    report = compare_documents(old, new, threshold=0.2)
+    assert report.exit_code == 1
+    (regression,) = report.regressions
+    assert regression.name == "sim"
+    assert regression.metric == "events_per_sec"
+    assert regression.speedup == pytest.approx(0.6)
+    assert "REGRESSION" in report.render()
+
+
+def test_drop_within_threshold_passes():
+    old = doc(sim=bench(rate=100_000.0))
+    new = doc(sim=bench(rate=85_000.0))
+    assert compare_documents(old, new, threshold=0.2).exit_code == 0
+
+
+def test_wall_time_fallback_when_no_event_rate():
+    old = doc(fig=bench(wall=10.0))
+    new = doc(fig=bench(wall=25.0))
+    report = compare_documents(old, new, threshold=0.5)
+    (regression,) = report.regressions
+    assert regression.metric == "wall_s"
+    assert regression.speedup == pytest.approx(0.4)
+
+
+def test_speedups_never_flagged():
+    old = doc(sim=bench(rate=50_000.0))
+    new = doc(sim=bench(rate=500_000.0))
+    report = compare_documents(old, new)
+    assert report.exit_code == 0
+    assert report.deltas[0].speedup == pytest.approx(10.0)
+
+
+def test_digest_drift_reported_but_not_gated():
+    old = doc(run=bench(rate=1_000.0, digest="aaa"))
+    new = doc(run=bench(rate=1_000.0, digest="bbb"))
+    report = compare_documents(old, new)
+    assert report.exit_code == 0
+    assert report.digest_changes == ["run"]
+    assert "digest" in report.render()
+
+
+def test_missing_and_added_benches_listed():
+    old = doc(gone=bench(rate=1.0), kept=bench(rate=1.0))
+    new = doc(kept=bench(rate=1.0), fresh=bench(rate=1.0))
+    report = compare_documents(old, new)
+    assert report.missing == ["gone"]
+    assert report.added == ["fresh"]
+    assert report.exit_code == 0
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        compare_documents(doc(), doc(), threshold=1.5)

@@ -1,0 +1,63 @@
+"""End-to-end tests for the ``python -m repro.bench`` CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.metrics.jsonio import stable_dumps
+
+
+def write_doc(path, rate):
+    document = {
+        "schema": 1,
+        "meta": {"rev": "t"},
+        "benches": {"sim_engine": {"events_per_sec": rate, "wall_s": 1.0}},
+    }
+    path.write_text(stable_dumps(document) + "\n")
+    return str(path)
+
+
+def test_list_exits_zero(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "sim_engine" in out and "fig08_distance_vs_loss" in out
+
+
+def test_quick_run_writes_document(tmp_path):
+    output = tmp_path / "BENCH_test.json"
+    code = main(["--quick", "--only", "queue_churn", "--rev", "test",
+                 "--output", str(output)])
+    assert code == 0
+    document = json.loads(output.read_text())
+    assert document["meta"]["rev"] == "test"
+    assert document["meta"]["quick"] is True
+    assert "queue_churn" in document["benches"]
+    assert document["benches"]["queue_churn"]["wall_s"] > 0
+
+
+def test_compare_flags_synthetic_regression(tmp_path):
+    old = write_doc(tmp_path / "old.json", rate=100_000.0)
+    new = write_doc(tmp_path / "new.json", rate=40_000.0)
+    assert main(["--compare", old, new]) == 1
+
+
+def test_compare_passes_on_equal_documents(tmp_path):
+    old = write_doc(tmp_path / "old.json", rate=100_000.0)
+    new = write_doc(tmp_path / "new.json", rate=99_000.0)
+    assert main(["--compare", old, new]) == 0
+
+
+def test_unknown_scenario_is_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--only", "no_such_bench"])
+    assert excinfo.value.code == 2
+
+
+def test_compare_rejects_non_bench_json(tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text("{}")
+    good = write_doc(tmp_path / "good.json", rate=1.0)
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--compare", str(bogus), good])
+    assert excinfo.value.code == 2

@@ -10,6 +10,9 @@ from repro.metrics.collectors import (
     average_inconsistency_duration,
     average_max_distance,
     distance_timeline,
+    duplicate_deliveries,
+    failover_latencies,
+    failover_latency,
     inconsistency_durations,
     max_distance_per_object,
     response_time_stats,
@@ -17,6 +20,7 @@ from repro.metrics.collectors import (
     update_delivery_rate,
 )
 from repro.net.link import BernoulliLoss
+from repro.sim.trace import TraceRecord
 from repro.units import ms
 from repro.workload.generator import homogeneous_specs, spec_for_window
 
@@ -64,15 +68,20 @@ def synthetic_service():
     return service
 
 
+def ingest_all(trace, records):
+    """Replace a trace's contents with hand-built records."""
+    trace.clear()
+    for record in records:
+        trace.ingest(record)
+
+
 def test_distance_timeline_steps():
     service = synthetic_service()
     trace = service.trace
 
     # primary writes at t=1, 2, 3; backup applies version written at 1 at
     # t=1.2, version written at 3 at t=3.5.
-    trace._records.clear()
-    from repro.sim.trace import TraceRecord
-    trace._records.extend([
+    ingest_all(trace, [
         TraceRecord(1.0, "primary_write", {"object": 0, "seq": 1}),
         TraceRecord(1.2, "backup_apply", {"object": 0, "seq": 1,
                                           "write_time": 1.0}),
@@ -99,9 +108,7 @@ def test_distance_timeline_steps():
 
 def test_inconsistency_episode_measured_against_window():
     service = synthetic_service()  # window = 100 ms
-    from repro.sim.trace import TraceRecord
-    service.trace._records.clear()
-    service.trace._records.extend([
+    ingest_all(service.trace, [
         TraceRecord(1.0, "primary_write", {"object": 0, "seq": 1}),
         TraceRecord(1.01, "backup_apply", {"object": 0, "seq": 1,
                                            "write_time": 1.0}),
@@ -118,9 +125,7 @@ def test_inconsistency_episode_measured_against_window():
 
 def test_open_episode_counts_to_horizon():
     service = synthetic_service()
-    from repro.sim.trace import TraceRecord
-    service.trace._records.clear()
-    service.trace._records.extend([
+    ingest_all(service.trace, [
         TraceRecord(1.0, "primary_write", {"object": 0, "seq": 1}),
         TraceRecord(1.01, "backup_apply", {"object": 0, "seq": 1,
                                            "write_time": 1.0}),
@@ -175,3 +180,93 @@ def test_delivery_rate_reflects_loss():
     # precede the backup's registration, so "no loss" is ~0.96+, not 1.0.
     assert update_delivery_rate(run_real(0.0)) > 0.95
     assert update_delivery_rate(run_real(0.3)) < 0.85
+
+
+# ---------------------------------------------------------------------------
+# Duplicate accounting (unclamped delivery ratio)
+# ---------------------------------------------------------------------------
+
+
+def test_delivery_rate_not_clamped_under_duplication():
+    service = synthetic_service()
+    ingest_all(service.trace, [
+        TraceRecord(1.0, "update_sent", {"object": 0, "seq": 1}),
+        TraceRecord(1.1, "backup_apply", {"object": 0, "seq": 1}),
+        # The network duplicated the datagram: the stale copy still arrives.
+        TraceRecord(1.2, "backup_apply_stale", {"object": 0, "seq": 1}),
+        TraceRecord(2.0, "update_sent", {"object": 0, "seq": 2}),
+        TraceRecord(2.1, "backup_apply", {"object": 0, "seq": 2}),
+    ])
+    assert update_delivery_rate(service) == pytest.approx(1.5)
+    assert duplicate_deliveries(service) == 1
+
+
+def test_no_duplicates_on_clean_trace():
+    service = synthetic_service()
+    ingest_all(service.trace, [
+        TraceRecord(1.0, "update_sent", {"object": 0, "seq": 1}),
+        TraceRecord(1.1, "backup_apply", {"object": 0, "seq": 1}),
+    ])
+    assert update_delivery_rate(service) == pytest.approx(1.0)
+    assert duplicate_deliveries(service) == 0
+
+
+def test_duplicates_never_negative_under_loss():
+    service = synthetic_service()
+    ingest_all(service.trace, [
+        TraceRecord(1.0, "update_sent", {"object": 0, "seq": 1}),
+        TraceRecord(2.0, "update_sent", {"object": 0, "seq": 2}),
+        TraceRecord(2.1, "backup_apply", {"object": 0, "seq": 2}),
+    ])
+    assert update_delivery_rate(service) == pytest.approx(0.5)
+    assert duplicate_deliveries(service) == 0
+
+
+# ---------------------------------------------------------------------------
+# Failover pairing
+# ---------------------------------------------------------------------------
+
+
+def test_failover_latencies_pair_each_crash_with_next_failover():
+    service = synthetic_service()
+    ingest_all(service.trace, [
+        TraceRecord(1.0, "server_crash", {"role": "primary"}),
+        TraceRecord(1.4, "failover", {}),
+        TraceRecord(5.0, "server_crash", {"role": "primary"}),
+        TraceRecord(5.9, "failover", {}),
+    ])
+    assert failover_latencies(service) == [
+        pytest.approx(0.4), pytest.approx(0.9)]
+    assert failover_latency(service) == pytest.approx(0.4)
+
+
+def test_failover_before_first_crash_not_misattributed():
+    # A backup-initiated failover (e.g. partition-driven promotion) that
+    # precedes the first primary crash must not be paired with it — the
+    # old scalar collector did exactly that and reported a negative
+    # "latency".
+    service = synthetic_service()
+    ingest_all(service.trace, [
+        TraceRecord(0.5, "failover", {}),
+        TraceRecord(2.0, "server_crash", {"role": "primary"}),
+        TraceRecord(2.7, "failover", {}),
+    ])
+    assert failover_latencies(service) == [pytest.approx(0.7)]
+    assert failover_latency(service) == pytest.approx(0.7)
+
+
+def test_unrecovered_crash_contributes_no_latency():
+    service = synthetic_service()
+    ingest_all(service.trace, [
+        TraceRecord(1.0, "server_crash", {"role": "primary"}),
+        TraceRecord(1.3, "failover", {}),
+        # Second crash never recovers: no spare left.
+        TraceRecord(4.0, "server_crash", {"role": "primary"}),
+    ])
+    assert failover_latencies(service) == [pytest.approx(0.3)]
+
+
+def test_no_failover_yields_empty_and_none():
+    service = synthetic_service()
+    assert failover_latencies(service) == []
+    assert failover_latency(service) is None

@@ -58,6 +58,20 @@ def test_nan_delay_rejected():
         sim.schedule(float("nan"), lambda: None)
 
 
+def test_infinite_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimTimeError):
+        sim.schedule(float("inf"), lambda: None)
+
+
+def test_infinite_absolute_time_rejected():
+    sim = Simulator()
+    with pytest.raises(SimTimeError):
+        sim.schedule_at(float("inf"), lambda: None)
+    with pytest.raises(SimTimeError):
+        sim.schedule_at(float("nan"), lambda: None)
+
+
 def test_schedule_at_in_past_rejected():
     sim = Simulator()
     sim.schedule(1.0, lambda: None)
@@ -120,6 +134,50 @@ def test_max_events_guard():
     sim.schedule(0.001, rearm)
     with pytest.raises(SimTimeError):
         sim.run(until=1e9, max_events=100)
+
+
+def test_max_events_executes_exactly_n_before_raising():
+    # Regression: the guard used to let an (N+1)th event run before raising.
+    sim = Simulator()
+    fired = []
+
+    def rearm():
+        fired.append(sim.now)
+        sim.schedule(0.001, rearm)
+
+    sim.schedule(0.001, rearm)
+    with pytest.raises(SimTimeError):
+        sim.run(until=1e9, max_events=5)
+    assert len(fired) == 5
+    assert sim.events_executed == 5
+
+
+def test_max_events_not_raised_when_queue_drains_within_budget():
+    sim = Simulator()
+    for index in range(3):
+        sim.schedule(0.001 * (index + 1), lambda: None)
+    # Exactly at budget: all 3 run, nothing more is due, no error.
+    assert sim.run(max_events=3) == 3
+
+
+def test_events_executed_counts_dispatches():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    cancelled = sim.schedule(2.0, lambda: None)
+    sim.schedule(3.0, lambda: None)
+    cancelled.cancel()
+    sim.run()
+    assert sim.events_executed == 2
+
+
+def test_peak_pending_events_high_water_mark():
+    sim = Simulator()
+    for index in range(10):
+        sim.schedule(0.001 * (index + 1), lambda: None)
+    assert sim.peak_pending_events == 10
+    sim.run()
+    assert sim.pending_events() == 0
+    assert sim.peak_pending_events == 10
 
 
 def test_reentrant_run_rejected():

@@ -93,3 +93,81 @@ def test_double_cancel_is_harmless():
     event.cancel()
     event.cancel()
     assert not queue
+
+
+def test_cancel_after_pop_does_not_corrupt_live_count():
+    queue = EventQueue()
+    fired = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert queue.pop() is fired
+    fired.cancel()  # fired already left the queue: must be a no-op
+    assert len(queue) == 1
+    assert queue.pop().time == 2.0
+
+
+def test_cancel_after_clear_does_not_corrupt_live_count():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.clear()
+    event.cancel()
+    assert len(queue) == 0
+    queue.push(1.0, lambda: None)
+    assert len(queue) == 1
+
+
+def test_peak_live_high_water_mark():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(10)]
+    assert queue.peak_live == 10
+    for event in events[:7]:
+        event.cancel()
+    assert queue.peak_live == 10  # peak is lifetime, not current
+    assert len(queue) == 3
+
+
+def test_compaction_bounds_heap_size():
+    queue = EventQueue()
+    keeper = queue.push(1e9, lambda: None)
+    # Far more cancellations than the compaction floor: the heap must not
+    # retain every tombstone.
+    for index in range(10_000):
+        queue.push(float(index), lambda: None).cancel()
+    assert len(queue) == 1
+    assert queue.cancelled_pending < 10_000
+    assert queue.peek_time() == 1e9
+    assert queue.pop() is keeper
+
+
+def test_cancel_heavy_len_bool_peek_pop_stay_consistent():
+    """Mutual consistency under a randomized cancel-heavy workload.
+
+    Whatever the interleaving of pushes and cancels, the O(1) accounting
+    must agree with ground truth: len == live events, bool == (len > 0),
+    peek_time == earliest live time, and pop drains exactly the live
+    events in (time, seq) order.
+    """
+    import random
+
+    rng = random.Random(1234)
+    queue = EventQueue()
+    live = {}  # seq -> Event (ground truth)
+    for _ in range(2_000):
+        if live and rng.random() < 0.45:
+            seq = rng.choice(sorted(live))
+            live.pop(seq).cancel()
+        else:
+            time = round(rng.uniform(0.0, 100.0), 6)
+            event = queue.push(time, lambda: None)
+            live[event.seq] = event
+        assert len(queue) == len(live)
+        assert bool(queue) == (len(live) > 0)
+        expected_peek = (min(e.time for e in live.values())
+                         if live else None)
+        assert queue.peek_time() == expected_peek
+    expected_order = sorted(live.values(), key=lambda e: (e.time, e.seq))
+    drained = []
+    while queue:
+        drained.append(queue.pop())
+    assert drained == expected_order
+    assert not queue
+    assert queue.peek_time() is None

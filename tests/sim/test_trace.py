@@ -1,6 +1,10 @@
 """Unit tests for the tracer."""
 
+import hashlib
+import random
+
 from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecord, Tracer
 
 
 def test_records_are_timestamped():
@@ -75,3 +79,108 @@ def test_iteration_yields_in_order():
     sim.trace.record("a", i=0)
     sim.trace.record("b", i=1)
     assert [record["i"] for record in sim.trace] == [0, 1]
+
+
+# ---------------------------------------------------------------------------
+# Index coherence: the per-category index must be observationally identical
+# to the original scan implementation.
+# ---------------------------------------------------------------------------
+
+
+def reference_select(trace, category, **matches):
+    """The pre-index implementation: scan every stored record."""
+    return [
+        record for record in trace
+        if record.category == category
+        and all(record.get(k) == v for k, v in matches.items())
+    ]
+
+
+def reference_digest(trace):
+    """The pre-index digest, computed independently from iteration order."""
+    hasher = hashlib.sha256()
+    for record in trace:
+        canonical = (record.time, record.category,
+                     sorted(record.fields.items()))
+        hasher.update(repr(canonical).encode())
+    return hasher.hexdigest()
+
+
+def populated_tracer(n=3_000, seed=99):
+    rng = random.Random(seed)
+    clock = {"now": 0.0}
+    trace = Tracer(clock=lambda: clock["now"])
+    categories = ("write", "apply", "ping", "crash")
+    for _ in range(n):
+        clock["now"] += rng.uniform(0.0, 0.01)
+        trace.record(rng.choice(categories),
+                     object=rng.randrange(8), seq=rng.randrange(100))
+    return trace
+
+
+def test_indexed_select_matches_scan_semantics():
+    trace = populated_tracer()
+    for category in ("write", "apply", "ping", "crash", "never_recorded"):
+        assert trace.select(category) == reference_select(trace, category)
+        for obj in range(8):
+            assert (trace.select(category, object=obj)
+                    == reference_select(trace, category, object=obj))
+    assert (trace.select("write", object=1, seq=5)
+            == reference_select(trace, "write", object=1, seq=5))
+
+
+def test_indexed_digest_byte_identical_to_scan():
+    trace = populated_tracer()
+    assert trace.digest() == reference_digest(trace)
+    # And deterministic across independent rebuilds.
+    assert populated_tracer().digest() == trace.digest()
+
+
+def test_categories_match_stored_records():
+    trace = populated_tracer(n=500)
+    expected = {}
+    for record in trace:
+        expected[record.category] = expected.get(record.category, 0) + 1
+    assert trace.categories() == expected
+
+
+def test_clear_resets_index():
+    trace = populated_tracer(n=100)
+    trace.clear()
+    assert len(trace) == 0
+    assert trace.categories() == {}
+    assert trace.select("write") == []
+    trace.record("write", object=0)
+    assert len(trace.select("write")) == 1
+    assert trace.categories() == {"write": 1}
+
+
+def test_enable_only_keeps_index_coherent():
+    clock = {"now": 0.0}
+    trace = Tracer(clock=lambda: clock["now"])
+    trace.record("keep", n=1)
+    trace.record("drop", n=2)
+    trace.enable_only("keep")
+    trace.record("keep", n=3)
+    trace.record("drop", n=4)  # filtered: must not reach the index either
+    assert [r["n"] for r in trace.select("keep")] == [1, 3]
+    assert [r["n"] for r in trace.select("drop")] == [2]
+    assert trace.categories() == {"keep": 2, "drop": 1}
+    assert trace.digest() == reference_digest(trace)
+
+
+def test_ingest_bypasses_filter_and_updates_index():
+    trace = Tracer(clock=lambda: 0.0)
+    trace.enable_only("kept")
+    trace.ingest(TraceRecord(1.0, "anything", {"n": 1}))
+    assert len(trace) == 1
+    assert trace.select("anything")[0]["n"] == 1
+    assert trace.categories() == {"anything": 1}
+
+
+def test_select_returns_copy_not_index_bucket():
+    trace = Tracer(clock=lambda: 0.0)
+    trace.record("a", n=1)
+    rows = trace.select("a")
+    rows.append("garbage")
+    assert len(trace.select("a")) == 1
