@@ -8,7 +8,8 @@ Examples::
     python -m repro.bench --compare BENCH_old.json BENCH_new.json
 
 Exit status: 0 on success, 1 when ``--compare`` finds a regression worse
-than ``--threshold``, 2 on usage errors.
+than ``--threshold`` (or, under ``--require-identical``, any deterministic
+field mismatch), 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ from repro.bench.compare import compare_documents
 from repro.bench.registry import SCENARIOS
 from repro.bench.runner import run_suite
 from repro.metrics.jsonio import stable_dumps
+from repro.parallel import resolve_jobs
 
 
 def _git_rev() -> str:
@@ -55,11 +57,21 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--output", metavar="PATH", default=None,
                         help="write the document here "
                              "(default BENCH_<rev>.json)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run scenarios across N worker processes "
+                             "(0 = one per CPU; default: $REPRO_JOBS or 1); "
+                             "deterministic fields are byte-identical for "
+                             "any value")
     parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
                         help="diff two BENCH documents instead of running")
     parser.add_argument("--threshold", type=float, default=0.2,
                         help="fractional throughput drop that counts as a "
                              "regression (default 0.2)")
+    parser.add_argument("--require-identical", action="store_true",
+                        help="with --compare: fail unless every "
+                             "deterministic field (digest, event counts, "
+                             "extra) matches — gates serial-vs-parallel "
+                             "and same-revision reruns")
     return parser
 
 
@@ -93,8 +105,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         old_doc = _load_document(parser, args.compare[0])
         new_doc = _load_document(parser, args.compare[1])
         try:
-            report = compare_documents(old_doc, new_doc,
-                                       threshold=args.threshold)
+            report = compare_documents(
+                old_doc, new_doc, threshold=args.threshold,
+                require_identical=args.require_identical)
         except ValueError as exc:
             parser.error(str(exc))
         print(report.render())
@@ -105,8 +118,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         names.extend(name for name in chunk.split(",") if name)
     rev = args.rev if args.rev is not None else _git_rev()
     try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
+    try:
         document = run_suite(names=names or None, quick=args.quick, rev=rev,
-                             echo=lambda line: print(line, file=sys.stderr))
+                             echo=lambda line: print(line, file=sys.stderr),
+                             jobs=jobs)
     except KeyError as exc:
         parser.error(str(exc.args[0]) if exc.args else str(exc))
     text = stable_dumps(document)

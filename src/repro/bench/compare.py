@@ -6,12 +6,24 @@ throughput falls below ``(1 - threshold)`` times the old (equivalently:
 wall time grows past ``1 / (1 - threshold)``).  Digest drift between
 revisions is reported but not gated — model changes legitimately move
 digests; refresh the committed baseline alongside such changes.
+
+``require_identical`` flips the digest report into a gate over *every*
+deterministic field: two documents produced by the same revision — e.g.
+a ``--jobs 1`` and a ``--jobs 4`` run — must agree byte-for-byte on
+digests, event counts, and extra counters, or the comparison fails.
+Wall time and throughput stay ungated there; they are host noise.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: Per-bench fields that are pure functions of revision + scenario + seed.
+#: ``wall_s`` / ``events_per_sec`` are deliberately absent: the
+#: determinism gate must pass on any mix of machines and worker counts.
+DETERMINISTIC_FIELDS = ("digest", "events_executed", "peak_live_events",
+                        "trace_records", "extra")
 
 
 @dataclass(frozen=True)
@@ -39,14 +51,27 @@ class CompareReport:
     added: List[str] = field(default_factory=list)
     #: Benches whose deterministic digests differ (informational).
     digest_changes: List[str] = field(default_factory=list)
+    #: Benches where *any* deterministic field differs (superset of
+    #: ``digest_changes``; gated only under ``require_identical``).
+    determinism_diffs: List[str] = field(default_factory=list)
+    #: When set, determinism diffs and coverage changes fail the compare.
+    require_identical: bool = False
 
     @property
     def regressions(self) -> List[Delta]:
         return [delta for delta in self.deltas if delta.regression]
 
     @property
+    def determinism_failures(self) -> List[str]:
+        """Benches that break the identical-documents contract."""
+        if not self.require_identical:
+            return []
+        return sorted(set(self.determinism_diffs)
+                      | set(self.missing) | set(self.added))
+
+    @property
     def exit_code(self) -> int:
-        return 1 if self.regressions else 0
+        return 1 if (self.regressions or self.determinism_failures) else 0
 
     def render(self) -> str:
         lines: List[str] = []
@@ -68,6 +93,16 @@ class CompareReport:
                    f"{len(self.deltas)} compared bench(es) "
                    f"at threshold {self.threshold:.0%}")
         lines.append(summary)
+        if self.require_identical:
+            failures = self.determinism_failures
+            if failures:
+                lines.append(
+                    "NOT IDENTICAL: deterministic fields differ for "
+                    + ", ".join(failures))
+            else:
+                lines.append(
+                    f"identical: deterministic fields match for all "
+                    f"{len(self.deltas)} compared bench(es)")
         return "\n".join(lines)
 
 
@@ -88,8 +123,14 @@ def _gated_metric(old: Mapping[str, Any],
     return None
 
 
+def _deterministic_view(bench: Mapping[str, Any]) -> Dict[str, Any]:
+    """The fields of one bench that any two same-revision runs must share."""
+    return {name: bench.get(name) for name in DETERMINISTIC_FIELDS}
+
+
 def compare_documents(old: Mapping[str, Any], new: Mapping[str, Any],
-                      threshold: float = 0.2) -> CompareReport:
+                      threshold: float = 0.2,
+                      require_identical: bool = False) -> CompareReport:
     """Compare two BENCH documents; flag drops worse than ``threshold``."""
     if not 0.0 < threshold < 1.0:
         raise ValueError(f"threshold must be in (0, 1): {threshold!r}")
@@ -97,6 +138,7 @@ def compare_documents(old: Mapping[str, Any], new: Mapping[str, Any],
     new_benches = dict(new.get("benches", {}))
     deltas: List[Delta] = []
     digest_changes: List[str] = []
+    determinism_diffs: List[str] = []
     for name in sorted(old_benches):
         if name not in new_benches:
             continue
@@ -110,10 +152,15 @@ def compare_documents(old: Mapping[str, Any], new: Mapping[str, Any],
         new_digest = new_benches[name].get("digest")
         if old_digest and new_digest and old_digest != new_digest:
             digest_changes.append(name)
+        if (_deterministic_view(old_benches[name])
+                != _deterministic_view(new_benches[name])):
+            determinism_diffs.append(name)
     return CompareReport(
         threshold=threshold,
         deltas=deltas,
         missing=sorted(set(old_benches) - set(new_benches)),
         added=sorted(set(new_benches) - set(old_benches)),
         digest_changes=digest_changes,
+        determinism_diffs=determinism_diffs,
+        require_identical=require_identical,
     )

@@ -6,6 +6,13 @@ meaningful.  Wall times naturally vary between machines; everything else in
 the document (event counts, peak live events, trace sizes, digests) is
 deterministic for a fixed revision and seed set.
 
+With ``jobs > 1`` the scenarios run concurrently across worker processes
+(one scenario per worker via :class:`repro.parallel.SweepPool`); the
+deterministic fields are byte-identical to a serial run.  Per-scenario wall
+times stay honest because each worker times its own scenario with its own
+stopwatch — queueing in the pool never inflates a scenario's number; only
+``suite_wall_s`` (and the recorded ``jobs``) reflect the parallelism.
+
 The stopwatch is injected (defaulting to a *reference* to
 ``time.perf_counter``) so the wall clock never leaks into model code and
 tests can pin the timing fields.
@@ -15,12 +22,17 @@ from __future__ import annotations
 
 import platform
 import time
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.bench.registry import SCENARIOS, BenchStats
+from repro.parallel import SweepPool
 
 #: Bump when the document layout changes incompatibly.
 SCHEMA_VERSION = 1
+
+#: Worker-side stopwatch — a *reference* to ``time.perf_counter`` so the
+#: wall clock never leaks into model code (DET001-clean).
+_WORKER_STOPWATCH = time.perf_counter
 
 
 def resolve_names(names: Optional[Iterable[str]] = None) -> List[str]:
@@ -52,19 +64,35 @@ def _bench_entry(stats: BenchStats, wall: float) -> Dict[str, Any]:
     return entry
 
 
+def _run_named(request: Tuple[str, bool]) -> Tuple[BenchStats, float]:
+    """Worker entry point: run one registered scenario, self-timed."""
+    name, quick = request
+    started = _WORKER_STOPWATCH()
+    stats = SCENARIOS[name](quick)
+    return stats, _WORKER_STOPWATCH() - started
+
+
 def run_suite(names: Optional[Iterable[str]] = None, quick: bool = False,
               rev: str = "unversioned",
               stopwatch: Callable[[], float] = time.perf_counter,
-              echo: Optional[Callable[[str], None]] = None
-              ) -> Dict[str, Any]:
+              echo: Optional[Callable[[str], None]] = None,
+              jobs: int = 1) -> Dict[str, Any]:
     """Run the selected scenarios and return the BENCH document (a dict)."""
     selected = resolve_names(names)
     benches: Dict[str, Any] = {}
     suite_started = stopwatch()
-    for name in selected:
-        started = stopwatch()
-        stats = SCENARIOS[name](quick)
-        wall = stopwatch() - started
+    timed: List[Tuple[BenchStats, float]]
+    if jobs > 1:
+        pool = SweepPool(jobs)
+        timed = pool.map(_run_named,
+                         [(name, quick) for name in selected])
+    else:
+        timed = []
+        for name in selected:
+            started = stopwatch()
+            stats = SCENARIOS[name](quick)
+            timed.append((stats, stopwatch() - started))
+    for name, (stats, wall) in zip(selected, timed):
         benches[name] = _bench_entry(stats, wall)
         if echo is not None:
             rate = benches[name]["events_per_sec"]
@@ -75,6 +103,7 @@ def run_suite(names: Optional[Iterable[str]] = None, quick: bool = False,
         "meta": {
             "rev": rev,
             "quick": quick,
+            "jobs": jobs,
             "python": platform.python_version(),
             "scenarios": selected,
             "suite_wall_s": round(stopwatch() - suite_started, 6),

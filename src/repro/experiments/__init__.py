@@ -2,6 +2,7 @@
 
 from repro.experiments.harness import (
     METRIC_TRACE_CATEGORIES,
+    RunMetrics,
     RunResult,
     run_scenario,
 )
@@ -16,6 +17,7 @@ from repro.experiments.figures import (
 )
 
 __all__ = [
+    "RunMetrics",
     "RunResult",
     "run_scenario",
     "METRIC_TRACE_CATEGORIES",

@@ -6,9 +6,12 @@ Examples::
     python -m repro.experiments fig8
     python -m repro.experiments fig11 --horizon 20 --seed 3
     python -m repro.experiments all --quick
+    python -m repro.experiments all --jobs 4
 
 ``--quick`` shrinks every sweep to a 2x2 grid for a fast smoke pass; the
-full defaults match the benchmark suite.
+full defaults match the benchmark suite.  ``--jobs N`` (or ``REPRO_JOBS``)
+fans sweep points out to N worker processes — tables are byte-identical
+for any value.
 """
 
 from __future__ import annotations
@@ -16,9 +19,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable
+from typing import Callable, List, Optional
 
 from repro.experiments import figures
+from repro.parallel import resolve_jobs
 from repro.units import ms
 
 FIGURES = {
@@ -58,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="root random seed")
     parser.add_argument("--quick", action="store_true",
                         help="shrink sweeps to a fast 2x2 smoke pass")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes per sweep (0 = one per CPU; "
+                             "default: $REPRO_JOBS or 1); output is "
+                             "byte-identical for any value")
     return parser
 
 
@@ -69,7 +77,7 @@ def run_figure(name: str, args: argparse.Namespace, *,
     ``time.perf_counter``) so the wall clock never leaks into model code
     and tests can pin the elapsed-time report.
     """
-    kwargs = {"seed": args.seed}
+    kwargs: dict = {"seed": args.seed, "jobs": args.jobs}
     if args.horizon is not None:
         kwargs["horizon"] = args.horizon
     if args.quick:
@@ -82,8 +90,13 @@ def run_figure(name: str, args: argparse.Namespace, *,
     print()
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        args.jobs = resolve_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
     if args.figure == "list":
         for name, func in sorted(FIGURES.items()):
             summary = (func.__doc__ or "").strip().splitlines()[0]

@@ -6,6 +6,13 @@ paper's: the same x-axis, the same per-curve parameter, the same metric on y
 regenerates in tens of seconds on a laptop; pass smaller tuples for quick
 looks or larger ones for smoother curves.
 
+Every sweep point is an independent run, so figures fan out through
+:mod:`repro.parallel`: pass ``jobs=N`` to spread points over N worker
+processes.  Results are reassembled in sweep order and each point's seed is
+:func:`~repro.parallel.derive_seed` of its coordinates, so the rendered
+table is byte-identical for any ``jobs`` value and adding a point never
+reshuffles the randomness of the others.
+
 Paper-shape expectations (what EXPERIMENTS.md checks):
 
 - **Fig 6**: with admission control, response time is flat in the number of
@@ -27,11 +34,11 @@ Paper-shape expectations (what EXPERIMENTS.md checks):
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, List, Sequence
 
 from repro.core.spec import SchedulingMode
-from repro.experiments.harness import run_scenario
 from repro.metrics.report import Series
+from repro.parallel import RunOutcome, RunSpec, derive_seed, run_specs
 from repro.units import ms, to_ms
 from repro.workload.scenarios import Scenario
 
@@ -49,6 +56,20 @@ def _rate_label(period: float) -> str:
     return f"write-period={to_ms(period):.0f}ms"
 
 
+def _sweep(series: Series, specs: List[RunSpec], jobs: int,
+           y_of: Callable[[RunOutcome], float]) -> Series:
+    """Run ``specs`` through the pool and plot them in submission order.
+
+    Each spec's ``key`` is ``(curve_label, x)``; completion order is
+    irrelevant because the pool reassembles outcomes in submission order.
+    """
+    for outcome in run_specs(specs, jobs=jobs):
+        assert outcome.key is not None
+        curve, x = outcome.key
+        series.add_point(curve, x, to_ms(y_of(outcome)))
+    return series
+
+
 # ---------------------------------------------------------------------------
 # Figures 6-7: client response time
 # ---------------------------------------------------------------------------
@@ -57,36 +78,39 @@ def _rate_label(period: float) -> str:
 def figure6_response_time_with_admission(
         object_counts: Sequence[int] = DEFAULT_OBJECT_COUNTS,
         windows: Sequence[float] = DEFAULT_WINDOWS,
-        horizon: float = 10.0, seed: int = 0) -> Series:
+        horizon: float = 10.0, seed: int = 0, jobs: int = 1) -> Series:
     """Figure 6: response time vs #objects offered, admission control ON."""
     return _response_series("Figure 6: client response time with admission "
                             "control", object_counts, windows, True,
-                            horizon, seed)
+                            horizon, seed, jobs)
 
 
 def figure7_response_time_without_admission(
         object_counts: Sequence[int] = DEFAULT_OBJECT_COUNTS,
         windows: Sequence[float] = DEFAULT_WINDOWS,
-        horizon: float = 10.0, seed: int = 0) -> Series:
+        horizon: float = 10.0, seed: int = 0, jobs: int = 1) -> Series:
     """Figure 7: response time vs #objects accepted, admission control OFF."""
     return _response_series("Figure 7: client response time without "
                             "admission control", object_counts, windows,
-                            False, horizon, seed)
+                            False, horizon, seed, jobs)
 
 
 def _response_series(name: str, object_counts: Sequence[int],
                      windows: Sequence[float], admission: bool,
-                     horizon: float, seed: int) -> Series:
+                     horizon: float, seed: int, jobs: int = 1) -> Series:
     series = Series(name=name, x_label="objects",
                     y_label="mean response (ms)", curve_label="window size")
-    for window in windows:
-        for count in object_counts:
-            result = run_scenario(Scenario(
+    specs = [
+        RunSpec(
+            scenario=Scenario(
                 n_objects=count, window=window, client_period=ms(100.0),
-                admission_enabled=admission, horizon=horizon, seed=seed))
-            series.add_point(_window_label(window), count,
-                             to_ms(result.response.mean))
-    return series
+                admission_enabled=admission, horizon=horizon,
+                seed=derive_seed(seed, "response", window, count)),
+            key=(_window_label(window), count))
+        for window in windows for count in object_counts
+    ]
+    return _sweep(series, specs, jobs,
+                  lambda outcome: outcome.metrics.response.mean)
 
 
 # ---------------------------------------------------------------------------
@@ -98,20 +122,23 @@ def figure8_distance_vs_loss(
         loss_probabilities: Sequence[float] = DEFAULT_LOSS,
         write_periods: Sequence[float] = DEFAULT_WRITE_PERIODS,
         n_objects: int = 8, window: float = ms(200.0),
-        horizon: float = 15.0, seed: int = 0) -> Series:
+        horizon: float = 15.0, seed: int = 0, jobs: int = 1) -> Series:
     """Figure 8: average maximum primary/backup distance vs message loss."""
     series = Series(name="Figure 8: average maximum primary/backup distance",
                     x_label="loss probability",
                     y_label="avg max distance (ms)",
                     curve_label="client write rate")
-    for period in write_periods:
-        for loss in loss_probabilities:
-            result = run_scenario(Scenario(
+    specs = [
+        RunSpec(
+            scenario=Scenario(
                 n_objects=n_objects, window=window, client_period=period,
-                loss_probability=loss, horizon=horizon, seed=seed))
-            series.add_point(_rate_label(period), loss,
-                             to_ms(result.avg_max_distance))
-    return series
+                loss_probability=loss, horizon=horizon,
+                seed=derive_seed(seed, "distance-loss", period, loss)),
+            key=(_rate_label(period), loss))
+        for period in write_periods for loss in loss_probabilities
+    ]
+    return _sweep(series, specs, jobs,
+                  lambda outcome: outcome.avg_max_distance)
 
 
 # ---------------------------------------------------------------------------
@@ -123,39 +150,44 @@ def figure9_distance_with_admission(
         object_counts: Sequence[int] = DEFAULT_OBJECT_COUNTS,
         windows: Sequence[float] = DEFAULT_WINDOWS,
         loss_probability: float = 0.02,
-        horizon: float = 10.0, seed: int = 0) -> Series:
+        horizon: float = 10.0, seed: int = 0, jobs: int = 1) -> Series:
     """Figure 9: avg max distance vs #objects offered, admission ON."""
     return _distance_series("Figure 9: avg max primary/backup distance with "
                             "admission control", object_counts, windows,
-                            True, loss_probability, horizon, seed)
+                            True, loss_probability, horizon, seed, jobs)
 
 
 def figure10_distance_without_admission(
         object_counts: Sequence[int] = DEFAULT_OBJECT_COUNTS,
         windows: Sequence[float] = DEFAULT_WINDOWS,
         loss_probability: float = 0.02,
-        horizon: float = 10.0, seed: int = 0) -> Series:
+        horizon: float = 10.0, seed: int = 0, jobs: int = 1) -> Series:
     """Figure 10: avg max distance vs #objects accepted, admission OFF."""
     return _distance_series("Figure 10: avg max primary/backup distance "
                             "without admission control", object_counts,
-                            windows, False, loss_probability, horizon, seed)
+                            windows, False, loss_probability, horizon, seed,
+                            jobs)
 
 
 def _distance_series(name: str, object_counts: Sequence[int],
                      windows: Sequence[float], admission: bool,
-                     loss: float, horizon: float, seed: int) -> Series:
+                     loss: float, horizon: float, seed: int,
+                     jobs: int = 1) -> Series:
     series = Series(name=name, x_label="objects",
                     y_label="avg max distance (ms)",
                     curve_label="window size")
-    for window in windows:
-        for count in object_counts:
-            result = run_scenario(Scenario(
+    specs = [
+        RunSpec(
+            scenario=Scenario(
                 n_objects=count, window=window, client_period=ms(100.0),
                 loss_probability=loss, admission_enabled=admission,
-                horizon=horizon, seed=seed))
-            series.add_point(_window_label(window), count,
-                             to_ms(result.avg_max_distance))
-    return series
+                horizon=horizon,
+                seed=derive_seed(seed, "distance", window, count)),
+            key=(_window_label(window), count))
+        for window in windows for count in object_counts
+    ]
+    return _sweep(series, specs, jobs,
+                  lambda outcome: outcome.avg_max_distance)
 
 
 # ---------------------------------------------------------------------------
@@ -166,43 +198,48 @@ def _distance_series(name: str, object_counts: Sequence[int],
 def figure11_inconsistency_normal(
         loss_probabilities: Sequence[float] = DEFAULT_LOSS,
         windows: Sequence[float] = (ms(50.0), ms(100.0), ms(200.0)),
-        n_objects: int = 24, horizon: float = 15.0, seed: int = 0) -> Series:
+        n_objects: int = 24, horizon: float = 15.0, seed: int = 0,
+        jobs: int = 1) -> Series:
     """Figure 11: duration of backup inconsistency, normal scheduling."""
     return _inconsistency_series(
         "Figure 11: duration of backup inconsistency (normal scheduling)",
         loss_probabilities, windows, SchedulingMode.NORMAL, n_objects,
-        horizon, seed)
+        horizon, seed, jobs)
 
 
 def figure12_inconsistency_compressed(
         loss_probabilities: Sequence[float] = DEFAULT_LOSS,
         windows: Sequence[float] = (ms(50.0), ms(100.0), ms(200.0)),
-        n_objects: int = 24, horizon: float = 15.0, seed: int = 0) -> Series:
+        n_objects: int = 24, horizon: float = 15.0, seed: int = 0,
+        jobs: int = 1) -> Series:
     """Figure 12: duration of backup inconsistency, compressed scheduling."""
     return _inconsistency_series(
         "Figure 12: duration of backup inconsistency (compressed scheduling)",
         loss_probabilities, windows, SchedulingMode.COMPRESSED, n_objects,
-        horizon, seed)
+        horizon, seed, jobs)
 
 
 def _inconsistency_series(name: str, loss_probabilities: Sequence[float],
                           windows: Sequence[float], mode: SchedulingMode,
                           n_objects: int, horizon: float,
-                          seed: int) -> Series:
+                          seed: int, jobs: int = 1) -> Series:
     series = Series(name=name, x_label="loss probability",
                     y_label="avg inconsistency duration (ms)",
                     curve_label="window size")
-    for window in windows:
-        for loss in loss_probabilities:
-            result = run_scenario(Scenario(
+    specs = [
+        RunSpec(
+            scenario=Scenario(
                 n_objects=n_objects, window=window, client_period=ms(25.0),
                 loss_probability=loss, scheduling_mode=mode,
-                horizon=horizon, seed=seed,
+                horizon=horizon,
+                seed=derive_seed(seed, "inconsistency", mode, window, loss),
                 # A populous deployment with fast writers: the compressed
                 # round-robin interval (n_objects x tx cost) is then large
                 # enough that window violations are observable at all, and
                 # the window-direction flip the paper highlights emerges.
-            ))
-            series.add_point(_window_label(window), loss,
-                             to_ms(result.avg_inconsistency))
-    return series
+            ),
+            key=(_window_label(window), loss))
+        for window in windows for loss in loss_probabilities
+    ]
+    return _sweep(series, specs, jobs,
+                  lambda outcome: outcome.avg_inconsistency)

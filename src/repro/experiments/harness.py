@@ -6,6 +6,16 @@ collectors need (``METRIC_TRACE_CATEGORIES``), which keeps long sweeps fast
 and memory-bounded; pass ``full_trace=True`` when a test wants to inspect
 scheduler-level events too.
 
+Collection is split in two layers so sweeps can cross process boundaries:
+
+- :class:`RunMetrics` is the *picklable* half — plain numbers and
+  :class:`~repro.metrics.collectors.SummaryStats`, no live objects.  It is
+  what :mod:`repro.parallel` workers ship back to the parent process.
+- :class:`RunResult` wraps the metrics together with the live
+  :class:`~repro.core.service.RTPBService` (plus the armed injector and the
+  online monitor on chaos runs) for callers that inspect traces directly;
+  ``full_trace=True`` callers keep working unchanged.
+
 Chaos runs ride the same entry point: pass a
 :class:`~repro.faults.schedule.FaultSchedule` and the faults fire at their
 virtual times during the run, with an optional online
@@ -16,7 +26,7 @@ the tracer, so the storage filter does not blind it).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.service import RTPBService
 from repro.metrics.collectors import (
@@ -28,6 +38,11 @@ from repro.metrics.collectors import (
     update_delivery_rate,
 )
 from repro.workload.scenarios import Scenario, build_scenario
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
+    from repro.faults.monitor import InvariantMonitor
+    from repro.faults.schedule import FaultSchedule
 
 #: Trace categories the metric collectors consume.
 METRIC_TRACE_CATEGORIES = (
@@ -49,12 +64,10 @@ METRIC_TRACE_CATEGORIES = (
 )
 
 
-@dataclass
-class RunResult:
-    """Everything the figures need from one finished run."""
+@dataclass(frozen=True)
+class RunMetrics:
+    """The picklable, service-free metrics of one finished run."""
 
-    scenario: Scenario
-    service: RTPBService
     #: Objects that actually entered the service.
     admitted: int
     response: SummaryStats
@@ -66,18 +79,60 @@ class RunResult:
     avg_inconsistency: float
     #: Fraction of transmitted updates applied at the backup.
     delivery_rate: float
-    #: Set on chaos runs: the armed injector and the online monitor.
-    injector: Optional["FaultInjector"] = None
-    monitor: Optional["InvariantMonitor"] = None
 
     @property
     def mean_response(self) -> float:
         return self.response.mean
 
 
+@dataclass
+class RunResult:
+    """Everything the figures need from one finished run.
+
+    The metric fields are exposed both as ``result.metrics`` (the picklable
+    :class:`RunMetrics`) and as flat read-only properties for the original
+    ``result.response`` / ``result.admitted`` call sites.
+    """
+
+    scenario: Scenario
+    service: RTPBService
+    metrics: RunMetrics
+    #: Set on chaos runs: the armed injector and the online monitor.
+    injector: Optional[FaultInjector] = None
+    monitor: Optional[InvariantMonitor] = None
+
+    @property
+    def admitted(self) -> int:
+        return self.metrics.admitted
+
+    @property
+    def response(self) -> SummaryStats:
+        return self.metrics.response
+
+    @property
+    def starved_writes(self) -> int:
+        return self.metrics.starved_writes
+
+    @property
+    def avg_max_distance(self) -> float:
+        return self.metrics.avg_max_distance
+
+    @property
+    def avg_inconsistency(self) -> float:
+        return self.metrics.avg_inconsistency
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.metrics.delivery_rate
+
+    @property
+    def mean_response(self) -> float:
+        return self.metrics.response.mean
+
+
 def run_scenario(scenario: Scenario, warmup: float = 2.0,
                  full_trace: bool = False,
-                 fault_schedule: Optional["FaultSchedule"] = None,
+                 fault_schedule: Optional[FaultSchedule] = None,
                  monitor: bool = False) -> RunResult:
     """Build the scenario's deployment, run it, and collect metrics.
 
@@ -104,19 +159,20 @@ def run_scenario(scenario: Scenario, warmup: float = 2.0,
         invariant_monitor = InvariantMonitor(service)
         invariant_monitor.attach()
     service.run(scenario.horizon)
-    result = collect(scenario, service, warmup)
-    result.injector = injector
-    result.monitor = invariant_monitor
-    return result
-
-
-def collect(scenario: Scenario, service: RTPBService,
-            warmup: float = 2.0) -> RunResult:
-    """Compute a :class:`RunResult` for an already-finished run."""
-    horizon = scenario.horizon
     return RunResult(
         scenario=scenario,
         service=service,
+        metrics=collect(scenario, service, warmup),
+        injector=injector,
+        monitor=invariant_monitor,
+    )
+
+
+def collect(scenario: Scenario, service: RTPBService,
+            warmup: float = 2.0) -> RunMetrics:
+    """Compute :class:`RunMetrics` for an already-finished run."""
+    horizon = scenario.horizon
+    return RunMetrics(
         admitted=len(service.registered_specs()),
         response=response_time_stats(service, start=warmup),
         starved_writes=unanswered_writes(service),

@@ -5,9 +5,12 @@ Examples::
     python -m repro.faults --list
     python -m repro.faults --scenario primary_crash_burst_loss --seed 1
     python -m repro.faults --matrix --seed 7 --output chaos.json
+    python -m repro.faults --matrix --jobs 4
 
 Reports are deterministic: the same ``(scenario, seed)`` produces a
-byte-identical document (sorted keys, no NaN, virtual-time everything).
+byte-identical document (sorted keys, no NaN, virtual-time everything) —
+including under ``--jobs N``, which only spreads the matrix across worker
+processes.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from typing import List, Optional
 from repro.faults.report import report_dict, run_chaos, run_matrix
 from repro.faults.scenarios import SCENARIOS
 from repro.metrics.jsonio import stable_dumps
+from repro.parallel import resolve_jobs
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -31,6 +35,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="run one catalogue scenario")
     parser.add_argument("--matrix", action="store_true",
                         help="run every catalogue scenario")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="matrix workers (0 = one per CPU; default: "
+                             "$REPRO_JOBS or 1); reports are byte-identical "
+                             "for any value")
     parser.add_argument("--seed", type=int, default=0,
                         help="root seed (default 0)")
     parser.add_argument("--warmup", type=float, default=2.0,
@@ -54,8 +62,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list:
         print(_list_scenarios())
         return 0
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
     if args.matrix:
-        document = run_matrix(seed=args.seed)
+        document = run_matrix(seed=args.seed, jobs=jobs)
     elif args.scenario:
         try:
             run = run_chaos(args.scenario, seed=args.seed, warmup=args.warmup)

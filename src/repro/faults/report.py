@@ -6,6 +6,11 @@ harness with its fault schedule armed and the invariant monitor attached;
 violation, the performability metrics, fabric counters, and a SHA-256 trace
 digest — into plain data that :func:`repro.metrics.stable_dumps` serialises
 byte-identically across runs of the same ``(scenario, seed)``.
+
+The flattening goes through :class:`repro.parallel.RunOutcome`, the
+picklable rendering of a finished run, which is what lets
+:func:`run_matrix` fan the whole catalogue out across worker processes
+(``jobs > 1``) and still emit documents byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -15,8 +20,8 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from repro.experiments.harness import RunResult, run_scenario
 from repro.faults.scenarios import SCENARIOS, ChaosScenario, build
-from repro.metrics.collectors import duplicate_deliveries
 from repro.metrics.jsonio import jsonable
+from repro.parallel import RunOutcome, RunSpec, outcome_from_result, run_specs
 
 
 @dataclass
@@ -54,57 +59,68 @@ def run_chaos(name: str, seed: int = 0, warmup: float = 2.0,
     )
 
 
-def report_dict(run: ChaosRunResult) -> Dict[str, Any]:
-    """Flatten one chaos run into deterministic, JSON-ready data."""
-    result = run.result
-    monitor = result.monitor
-    injector = result.injector
-    fabric = result.service.fabric
-    violations = [violation.to_dict() for violation in run.violations]
+def chaos_spec(chaos: ChaosScenario, warmup: float = 2.0) -> RunSpec:
+    """The picklable run request for one catalogue scenario."""
+    return RunSpec(scenario=chaos.workload, warmup=warmup, monitor=True,
+                   fault_schedule=chaos.schedule, key=(chaos.name,))
+
+
+def outcome_report(chaos: ChaosScenario, seed: int,
+                   outcome: RunOutcome) -> Dict[str, Any]:
+    """Flatten one chaos outcome into deterministic, JSON-ready data."""
+    metrics = outcome.metrics
+    expected = set(chaos.expected_violations)
     return {
         "scenario": {
-            "name": run.scenario.name,
-            "description": run.scenario.description,
-            "seed": run.seed,
-            "horizon": run.scenario.workload.horizon,
-            "n_objects": run.scenario.workload.n_objects,
-            "expected_violations": list(run.scenario.expected_violations),
+            "name": chaos.name,
+            "description": chaos.description,
+            "seed": seed,
+            "horizon": chaos.workload.horizon,
+            "n_objects": chaos.workload.n_objects,
+            "expected_violations": list(chaos.expected_violations),
         },
         "faults": {
-            "scheduled": run.scenario.schedule.describe(),
-            "applied": list(injector.applied) if injector is not None else [],
+            "scheduled": chaos.schedule.describe(),
+            "applied": list(outcome.faults_applied),
         },
         "invariants": {
-            "violations": jsonable(violations),
-            "violation_counts": (monitor.violation_counts()
-                                 if monitor is not None else {}),
+            "violations": jsonable(outcome.violations),
+            "violation_counts": dict(outcome.violation_counts),
             "unexpected": jsonable(
-                [violation.to_dict()
-                 for violation in run.unexpected_violations()]),
+                [violation for violation in outcome.violations
+                 if violation["kind"] not in expected]),
         },
         "metrics": jsonable({
-            "admitted": result.admitted,
-            "mean_response": result.response.mean,
-            "p95_response": result.response.p95,
-            "starved_writes": result.starved_writes,
-            "avg_max_distance": result.avg_max_distance,
-            "avg_inconsistency": result.avg_inconsistency,
-            "delivery_rate": result.delivery_rate,
-            "duplicate_deliveries": duplicate_deliveries(result.service),
+            "admitted": metrics.admitted,
+            "mean_response": metrics.response.mean,
+            "p95_response": metrics.response.p95,
+            "starved_writes": metrics.starved_writes,
+            "avg_max_distance": metrics.avg_max_distance,
+            "avg_inconsistency": metrics.avg_inconsistency,
+            "delivery_rate": metrics.delivery_rate,
+            "duplicate_deliveries": outcome.duplicate_deliveries,
         }),
-        "network": {
-            "messages_sent": fabric.messages_sent,
-            "messages_delivered": fabric.messages_delivered,
-            "messages_dropped": fabric.messages_dropped,
-            "messages_duplicated": fabric.messages_duplicated,
-            "messages_corrupted": fabric.messages_corrupted,
-        },
-        "trace_digest": run.trace_digest,
+        "network": dict(outcome.network),
+        "trace_digest": outcome.trace_digest,
     }
 
 
+def report_dict(run: ChaosRunResult) -> Dict[str, Any]:
+    """Flatten one live chaos run into deterministic, JSON-ready data."""
+    return outcome_report(run.scenario, run.seed,
+                          outcome_from_result(run.result))
+
+
 def run_matrix(names: Optional[Iterable[str]] = None,
-               seed: int = 0) -> Dict[str, Dict[str, Any]]:
-    """Run several catalogue scenarios and report each (name -> report)."""
+               seed: int = 0, jobs: int = 1) -> Dict[str, Dict[str, Any]]:
+    """Run several catalogue scenarios and report each (name -> report).
+
+    With ``jobs > 1`` the scenarios run across worker processes; reports
+    are byte-identical to a serial matrix for any worker count.
+    """
     selected = sorted(names) if names is not None else sorted(SCENARIOS)
-    return {name: report_dict(run_chaos(name, seed)) for name in selected}
+    catalogue = [build(name, seed) for name in selected]
+    outcomes = run_specs([chaos_spec(chaos) for chaos in catalogue],
+                         jobs=jobs)
+    return {chaos.name: outcome_report(chaos, seed, outcome)
+            for chaos, outcome in zip(catalogue, outcomes)}

@@ -1,4 +1,4 @@
-"""Determinism rules (DET001–DET004).
+"""Determinism rules (DET001–DET005).
 
 The simulation's reproducibility contract: virtual time comes from the
 :class:`~repro.sim.engine.Simulator` clock, randomness from named
@@ -40,6 +40,19 @@ GLOBAL_RANDOM_FUNCS = frozenset({
 #: Set-returning methods: iterating their result is order-unstable.
 SET_METHODS = frozenset({
     "union", "intersection", "difference", "symmetric_difference",
+})
+
+#: Model packages whose results must never depend on the host's worker
+#: count — parallelism lives in :mod:`repro.parallel` and above.
+MODEL_PACKAGES = ("repro/sim/", "repro/core/", "repro/sched/")
+
+#: Modules that exist to spread work across host processes/threads.
+PARALLELISM_MODULES = frozenset({"multiprocessing", "concurrent"})
+
+#: Calls that observe the host's parallelism (CPU count, affinity).
+HOST_PARALLELISM_CALLS = frozenset({
+    "os.cpu_count", "os.process_cpu_count", "os.sched_getaffinity",
+    "multiprocessing.cpu_count",
 })
 
 
@@ -195,3 +208,54 @@ class IdentityOrderingRule(Rule):
                     and isinstance(node.func, ast.Name)
                     and node.func.id in ("id", "hash")):
                 yield node.func.id
+
+
+@register
+class HostParallelismRule(Rule):
+    """DET005 — worker count must never leak into model code.
+
+    ``repro.parallel`` guarantees byte-identical output for any ``jobs``
+    value *because* the model layers (``repro.sim``, ``repro.core``,
+    ``repro.sched``) are pure functions of scenario and seed.  A model
+    module that imports ``multiprocessing``/``concurrent.futures`` or
+    reads ``os.cpu_count()`` can make results a function of the host —
+    parallelism belongs in the sweep layer, never below it.
+    """
+
+    code = "DET005"
+    summary = ("multiprocessing / cpu-count use in model code; worker "
+               "count must never reach results (use repro.parallel above "
+               "the model)")
+
+    @staticmethod
+    def _in_model_code(ctx: FileContext) -> bool:
+        return any(package in ctx.path for package in MODEL_PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._in_model_code(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in PARALLELISM_MODULES:
+                        yield self.finding(
+                            ctx, node,
+                            f"import of {alias.name!r} in model code; "
+                            f"parallelism lives in repro.parallel, above "
+                            f"the model")
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module
+                        and node.module.split(".")[0] in PARALLELISM_MODULES):
+                    yield self.finding(
+                        ctx, node,
+                        f"import from {node.module!r} in model code; "
+                        f"parallelism lives in repro.parallel, above the "
+                        f"model")
+            elif isinstance(node, ast.Call):
+                qualified = ctx.qualified_name(node.func)
+                if qualified in HOST_PARALLELISM_CALLS:
+                    yield self.finding(
+                        ctx, node,
+                        f"call to {qualified}() in model code; results "
+                        f"must not depend on the host's worker count")

@@ -1,0 +1,146 @@
+"""Picklable run requests and outcomes.
+
+A :class:`RunSpec` is everything one simulation run needs — the
+:class:`~repro.workload.scenarios.Scenario`, an optional fault schedule,
+and the monitor/trace flags — as a plain value that crosses a process
+boundary.  :func:`execute` is the worker-side entry point: it runs the
+spec through the experiments harness and returns a :class:`RunOutcome`,
+the slim picklable rendering of the finished run (metrics, counters, and
+the trace digest — *not* the live :class:`~repro.core.service.RTPBService`,
+whose object graph is neither picklable nor worth shipping).
+
+Both halves are deterministic functions of the spec: the wall-clock field
+(``wall_s``) is the only thing two runs of the same spec may disagree on,
+and it is measured per worker so pool queueing never inflates it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.workload.scenarios import Scenario
+
+if TYPE_CHECKING:
+    # Runtime imports stay local to the functions below: the experiments
+    # package re-exports the figure sweeps, which import repro.parallel —
+    # a module-level import here would close that cycle.
+    from repro.experiments.harness import RunMetrics, RunResult
+    from repro.faults.schedule import FaultSchedule
+
+#: Injectable worker stopwatch — a *reference* to ``time.perf_counter``,
+#: so the wall clock never leaks into model code (DET001-clean).
+_STOPWATCH = time.perf_counter
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run, phrased as a picklable value."""
+
+    scenario: Scenario
+    #: Seconds excluded from every metric at the head of the run.
+    warmup: float = 2.0
+    #: Attach the online invariant monitor (chaos runs).
+    monitor: bool = False
+    #: Keep every trace category instead of the metric allow-list.
+    full_trace: bool = False
+    fault_schedule: Optional[FaultSchedule] = None
+    #: Caller bookkeeping (e.g. sweep coordinates); rides back verbatim
+    #: on the outcome.
+    key: Optional[Tuple[Any, ...]] = None
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """The picklable rendering of one finished run."""
+
+    scenario: Scenario
+    metrics: RunMetrics
+    events_executed: int
+    #: ``None`` when the queue build does not track the high-water mark.
+    peak_live_events: Optional[int]
+    trace_records: int
+    #: SHA-256 over the retained trace (deterministic per spec).
+    trace_digest: str
+    #: Fabric counters (sent/delivered/dropped/duplicated/corrupted).
+    network: Dict[str, int] = field(default_factory=dict)
+    #: Updates applied more than once at the backup (duplication faults).
+    duplicate_deliveries: int = 0
+    #: JSON-safe log of faults actually applied, in firing order.
+    faults_applied: List[Dict[str, Any]] = field(default_factory=list)
+    #: Violations the online monitor flagged (``to_dict()`` form).
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    violation_counts: Dict[str, int] = field(default_factory=dict)
+    #: Worker-side wall time of the run, seconds.
+    wall_s: float = 0.0
+    key: Optional[Tuple[Any, ...]] = None
+
+    # Flat conveniences mirroring RunResult's metric surface.
+    @property
+    def admitted(self) -> int:
+        return self.metrics.admitted
+
+    @property
+    def mean_response(self) -> float:
+        return self.metrics.response.mean
+
+    @property
+    def avg_max_distance(self) -> float:
+        return self.metrics.avg_max_distance
+
+    @property
+    def avg_inconsistency(self) -> float:
+        return self.metrics.avg_inconsistency
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.metrics.delivery_rate
+
+
+def outcome_from_result(result: RunResult, wall_s: float = 0.0,
+                        key: Optional[Tuple[Any, ...]] = None) -> RunOutcome:
+    """Flatten a live :class:`RunResult` into a picklable outcome."""
+    from repro.metrics.collectors import duplicate_deliveries
+
+    service = result.service
+    fabric = service.fabric
+    monitor = result.monitor
+    injector = result.injector
+    peak = getattr(service.sim, "peak_pending_events", None)
+    return RunOutcome(
+        scenario=result.scenario,
+        metrics=result.metrics,
+        events_executed=service.sim.events_executed,
+        peak_live_events=int(peak) if peak is not None else None,
+        trace_records=len(service.trace),
+        trace_digest=service.trace.digest(),
+        network={
+            "messages_sent": fabric.messages_sent,
+            "messages_delivered": fabric.messages_delivered,
+            "messages_dropped": fabric.messages_dropped,
+            "messages_duplicated": fabric.messages_duplicated,
+            "messages_corrupted": fabric.messages_corrupted,
+        },
+        duplicate_deliveries=duplicate_deliveries(service),
+        faults_applied=list(injector.applied) if injector is not None else [],
+        violations=[violation.to_dict() for violation in monitor.violations]
+        if monitor is not None else [],
+        violation_counts=monitor.violation_counts()
+        if monitor is not None else {},
+        wall_s=wall_s,
+        key=key,
+    )
+
+
+def execute(spec: RunSpec) -> RunOutcome:
+    """Run one spec to completion (the process-pool worker entry point)."""
+    from repro.experiments.harness import run_scenario
+
+    started = _STOPWATCH()
+    result = run_scenario(spec.scenario, warmup=spec.warmup,
+                          full_trace=spec.full_trace,
+                          fault_schedule=spec.fault_schedule,
+                          monitor=spec.monitor)
+    return outcome_from_result(result, wall_s=_STOPWATCH() - started,
+                               key=spec.key)

@@ -63,7 +63,7 @@ def mixed_specs(count: int, windows: Sequence[float],
     """
     if not windows or not client_periods or not sizes:
         raise ReplicationError("windows, client_periods, sizes must be non-empty")
-    specs = []
+    specs: List[ObjectSpec] = []
     for index in range(count):
         digest = hashlib.sha256(f"{seed}:mix:{index}".encode()).digest()
         window = windows[digest[0] % len(windows)]

@@ -9,8 +9,7 @@ registered and a sensing client attached.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
 
 from repro.core.service import RTPBService
 from repro.core.spec import SchedulingMode, ServiceConfig
@@ -19,9 +18,16 @@ from repro.units import ms
 from repro.workload.generator import homogeneous_specs
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class Scenario:
-    """Parameters for one experimental run."""
+    """Parameters for one experimental run.
+
+    Frozen and slotted on purpose: scenarios are *values*.  They cross
+    process boundaries when :mod:`repro.parallel` fans a sweep out to
+    workers, so they must pickle round-trip exactly, hash consistently,
+    and never be mutated after a sweep has derived seeds from them —
+    ``dataclasses.replace`` is the way to vary one knob.
+    """
 
     n_objects: int = 8
     #: δ = δ^B - δ^P, seconds (the paper's "window size").

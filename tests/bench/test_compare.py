@@ -77,3 +77,34 @@ def test_missing_and_added_benches_listed():
 def test_threshold_validation():
     with pytest.raises(ValueError):
         compare_documents(doc(), doc(), threshold=1.5)
+
+
+def test_require_identical_passes_when_only_wall_differs():
+    # The serial-vs-parallel contract: timings move, determinism doesn't.
+    old = doc(run=bench(rate=1_000.0, wall=2.0, digest="aaa"))
+    new = doc(run=bench(rate=2_000.0, wall=1.0, digest="aaa"))
+    report = compare_documents(old, new, require_identical=True)
+    assert report.exit_code == 0
+    assert report.determinism_failures == []
+    assert "identical" in report.render()
+
+
+def test_require_identical_gates_any_deterministic_field():
+    old = doc(run={"events_per_sec": 1_000.0, "digest": "aaa",
+                   "events_executed": 10})
+    new = doc(run={"events_per_sec": 1_000.0, "digest": "aaa",
+                   "events_executed": 11})
+    report = compare_documents(old, new, require_identical=True)
+    assert report.exit_code == 1
+    assert report.determinism_failures == ["run"]
+    assert "NOT IDENTICAL" in report.render()
+    # The same diff without the flag stays informational.
+    assert compare_documents(old, new).exit_code == 0
+
+
+def test_require_identical_gates_coverage_changes():
+    old = doc(kept=bench(rate=1.0), gone=bench(rate=1.0))
+    new = doc(kept=bench(rate=1.0), fresh=bench(rate=1.0))
+    report = compare_documents(old, new, require_identical=True)
+    assert report.exit_code == 1
+    assert report.determinism_failures == ["fresh", "gone"]

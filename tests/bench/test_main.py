@@ -61,3 +61,34 @@ def test_compare_rejects_non_bench_json(tmp_path):
     with pytest.raises(SystemExit) as excinfo:
         main(["--compare", str(bogus), good])
     assert excinfo.value.code == 2
+
+
+def test_jobs_lands_in_document_meta(tmp_path):
+    output = tmp_path / "BENCH_jobs.json"
+    code = main(["--quick", "--only", "queue_churn", "--rev", "test",
+                 "--jobs", "2", "--output", str(output)])
+    assert code == 0
+    assert json.loads(output.read_text())["meta"]["jobs"] == 2
+
+
+def test_negative_jobs_is_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--quick", "--only", "queue_churn", "--jobs", "-1"])
+    assert excinfo.value.code == 2
+
+
+def test_require_identical_gates_digest_drift(tmp_path):
+    def digest_doc(path, digest):
+        document = {
+            "schema": 1,
+            "meta": {"rev": "t"},
+            "benches": {"sim_engine": {"events_per_sec": 1000.0,
+                                       "digest": digest}},
+        }
+        path.write_text(stable_dumps(document) + "\n")
+        return str(path)
+
+    old = digest_doc(tmp_path / "old.json", "aaa")
+    new = digest_doc(tmp_path / "new.json", "bbb")
+    assert main(["--compare", old, new]) == 0
+    assert main(["--compare", old, new, "--require-identical"]) == 1

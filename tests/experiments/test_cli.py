@@ -34,3 +34,29 @@ def test_seed_is_threaded_through(capsys):
 def test_unknown_figure_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["fig99"])
+
+
+def test_jobs_flag_produces_identical_tables(capsys):
+    from repro.parallel import process_support
+
+    if not process_support():
+        pytest.skip("no process support")
+    main(["fig8", "--quick", "--horizon", "4", "--jobs", "1"])
+    serial = capsys.readouterr().out
+    main(["fig8", "--quick", "--horizon", "4", "--jobs", "2"])
+    parallel = capsys.readouterr().out
+    strip = lambda text: "\n".join(
+        line for line in text.splitlines() if not line.startswith("["))
+    assert strip(serial) == strip(parallel)
+
+
+def test_negative_jobs_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig8", "--quick", "--jobs", "-3"])
+
+
+def test_jobs_env_var_is_honoured(monkeypatch, capsys):
+    # REPRO_JOBS supplies the default; a bad value is a usage error.
+    monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+    with pytest.raises(SystemExit):
+        main(["fig8", "--quick", "--horizon", "4"])

@@ -99,3 +99,9 @@ def test_cli_rejects_unwritable_output_path(tmp_path, capsys):
     with pytest.raises(SystemExit):
         main(["--scenario", "degraded_network", "--output", str(path)])
     assert "cannot write --output" in capsys.readouterr().err
+
+
+def test_cli_rejects_negative_jobs(capsys):
+    with pytest.raises(SystemExit):
+        main(["--matrix", "--jobs", "-4"])
+    assert "jobs" in capsys.readouterr().err

@@ -1,0 +1,13 @@
+"""DET005 fixture: host parallelism leaking into model code."""
+
+import os
+import multiprocessing  # noqa: F401
+from concurrent.futures import ProcessPoolExecutor  # noqa: F401
+
+workers = os.cpu_count()
+
+
+def fine(jobs: int) -> int:
+    # An explicit worker-count *parameter* is fine: the sweep layer owns
+    # the value; the model never reads the host.
+    return jobs

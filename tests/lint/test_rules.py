@@ -42,6 +42,25 @@ def test_det004_identity_ordering():
     # Notably absent: line 11's stable-field key.
 
 
+def test_det005_host_parallelism_in_model_code():
+    assert hits("src/repro/sim/det005_host_parallelism.py") == {
+        ("DET005", 4), ("DET005", 5), ("DET005", 7)}
+    # Notably absent: line 3's `import os` and the explicit jobs parameter.
+
+
+def test_det005_stays_out_of_sweep_layer_code():
+    # The same source outside repro.sim/core/sched is fine: the pool and
+    # the CLIs are exactly where cpu_count/multiprocessing belong.
+    from repro.lint import lint_source
+    source = (FIXTURES / "src" / "repro" / "sim"
+              / "det005_host_parallelism.py").read_text(encoding="utf-8")
+    paths = ("src/repro/parallel/pool.py", "src/repro/bench/runner.py",
+             "tests/parallel/test_pool.py")
+    for path in paths:
+        assert [finding for finding in lint_source(source, path)
+                if finding.rule == "DET005"] == []
+
+
 def test_rt001_float_time_equality():
     assert hits("src/repro/rt001_float_equality.py") == {
         ("RT001", 5), ("RT001", 7)}

@@ -1,5 +1,8 @@
 """Unit tests for scenario building."""
 
+import dataclasses
+import pickle
+
 import pytest
 
 from repro.core.spec import SchedulingMode
@@ -55,3 +58,37 @@ def test_admission_enabled_caps_population():
     scenario = Scenario(n_objects=80, window=ms(100), horizon=1.0)
     service = build_scenario(scenario)
     assert len(service.registered_specs()) < 80
+
+
+def test_scenario_pickle_round_trips_exactly():
+    # Scenarios cross process boundaries in repro.parallel sweeps; the
+    # worker must see *exactly* the value the driver built.
+    scenario = Scenario(n_objects=5, window=ms(150), loss_probability=0.03,
+                        scheduling_mode=SchedulingMode.COMPRESSED,
+                        admission_enabled=False, seed=42)
+    clone = pickle.loads(pickle.dumps(scenario,
+                                      protocol=pickle.HIGHEST_PROTOCOL))
+    assert clone == scenario
+    assert dataclasses.asdict(clone) == dataclasses.asdict(scenario)
+    assert clone.scheduling_mode is SchedulingMode.COMPRESSED
+
+
+def test_scenario_is_frozen_and_slotted():
+    scenario = Scenario()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        scenario.n_objects = 99  # type: ignore[misc]
+    # slots=True: no per-instance __dict__, so no sneaky attribute escape.
+    # (TypeError: on some 3.10/3.11 builds the slotted-frozen __setattr__
+    # trips over its stale class cell instead of raising AttributeError —
+    # either way the write is refused, which is the property under test.)
+    assert not hasattr(scenario, "__dict__")
+    with pytest.raises((AttributeError, TypeError)):
+        scenario.brand_new_knob = 1  # type: ignore[attr-defined]
+
+
+def test_scenario_varies_by_replace():
+    base = Scenario()
+    varied = dataclasses.replace(base, window=ms(400), seed=7)
+    assert varied.window == ms(400)
+    assert varied.seed == 7
+    assert base.window == ms(200)  # the original is untouched
