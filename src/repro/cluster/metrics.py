@@ -1,0 +1,76 @@
+"""Cluster-scope metric aggregation: per-group and cluster-wide.
+
+The existing collectors in :mod:`repro.metrics.collectors` are pure
+functions of a duck-typed deployment view, so they run unchanged over one
+:class:`~repro.cluster.service.ReplicationGroup` (its ``registered_specs``
+and ``objects=`` filters scope every count to the shard, even though all
+groups share one trace) and over the whole
+:class:`~repro.cluster.service.ClusterService` (no filter: every record
+counts).  :func:`collect_cluster` packages both layers into a
+:class:`ClusterMetrics` — the cluster-wide :class:`RunMetrics` the sweep
+machinery already understands, plus one :class:`RunMetrics` per group for
+blast-radius analysis (e.g. "killing g00's primary moved g00's numbers
+and nobody else's").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, cast
+
+from repro.core.service import RTPBService
+from repro.experiments.harness import RunMetrics
+from repro.metrics.collectors import (
+    average_inconsistency_duration,
+    average_max_distance,
+    response_time_stats,
+    unanswered_writes,
+    update_delivery_rate,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.service import ClusterService, ReplicationGroup
+
+
+@dataclass(frozen=True)
+class ClusterMetrics:
+    """Two-layer metrics of one finished cluster run (picklable)."""
+
+    #: Cluster-wide numbers (all objects, all groups, one aggregate).
+    cluster: RunMetrics
+    #: Per-group numbers, keyed by group name, in gid order.
+    per_group: Dict[str, RunMetrics]
+
+
+def collect_group(group: "ReplicationGroup", horizon: float,
+                  warmup: float = 2.0) -> RunMetrics:
+    """Compute :class:`RunMetrics` for one group of a finished cluster run."""
+    view = cast(RTPBService, group)
+    ids = group.object_ids()
+    return RunMetrics(
+        admitted=len(ids),
+        response=response_time_stats(view, start=warmup, objects=ids),
+        starved_writes=unanswered_writes(view, objects=ids),
+        avg_max_distance=average_max_distance(view, horizon, start=warmup),
+        avg_inconsistency=average_inconsistency_duration(view, horizon,
+                                                         start=warmup),
+        delivery_rate=update_delivery_rate(view, objects=ids),
+    )
+
+
+def collect_cluster(cluster: "ClusterService", horizon: float,
+                    warmup: float = 2.0) -> ClusterMetrics:
+    """Compute cluster-wide and per-group metrics in one call."""
+    view = cast(RTPBService, cluster)
+    cluster_wide = RunMetrics(
+        admitted=len(cluster.registered_specs()),
+        response=response_time_stats(view, start=warmup),
+        starved_writes=unanswered_writes(view),
+        avg_max_distance=average_max_distance(view, horizon, start=warmup),
+        avg_inconsistency=average_inconsistency_duration(view, horizon,
+                                                         start=warmup),
+        delivery_rate=update_delivery_rate(view),
+    )
+    per_group = {group.name: collect_group(group, horizon, warmup)
+                 for group in cluster.groups}
+    return ClusterMetrics(cluster=cluster_wide, per_group=per_group)

@@ -1,0 +1,73 @@
+"""Cluster-wide invariant checking: one monitor per replication group.
+
+:class:`ClusterInvariantMonitor` instantiates a per-group
+:class:`~repro.faults.monitor.InvariantMonitor` over each group's
+deployment view, so split-brain, missed-failover and temporal-window
+checks are *scoped to the shard*: two groups legitimately running one
+primary each never look like a split brain, and a crash in group 3 cannot
+charge a violation to group 7.  Every violation bubbles up into one
+merged, detection-ordered list with the owning group stamped into its
+details.
+
+Construct it **after** ``cluster.start()`` — a group's window table is
+seeded from its registered specs, which exist only once the group has
+been placed (the per-group monitors also re-seed themselves on
+``cluster_place`` records, so re-placements are tracked automatically).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.faults.monitor import InvariantMonitor, InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.service import ClusterService, ReplicationGroup
+
+
+class ClusterInvariantMonitor:
+    """Per-group invariant monitors with a merged violation stream."""
+
+    def __init__(self, cluster: "ClusterService",
+                 grace: Optional[float] = None,
+                 failover_margin: float = 0.1) -> None:
+        self.cluster = cluster
+        #: Merged violations across all groups, in detection order; each
+        #: carries ``group=<group name>`` in its details.
+        self.violations: List[InvariantViolation] = []
+        self.monitors: Dict[str, InvariantMonitor] = {}
+        for group in cluster.groups:
+            self.monitors[group.name] = InvariantMonitor(
+                group, grace=grace, failover_margin=failover_margin,
+                on_violation=self._stamp(group))
+
+    def _stamp(self, group: "ReplicationGroup"
+               ) -> Callable[[InvariantViolation], None]:
+        def on_violation(violation: InvariantViolation) -> None:
+            violation.details.setdefault("group", group.name)
+            self.violations.append(violation)
+        return on_violation
+
+    # ------------------------------------------------------------------
+
+    def attach(self) -> None:
+        for monitor in self.monitors.values():
+            monitor.attach()
+
+    def detach(self) -> None:
+        for monitor in self.monitors.values():
+            monitor.detach()
+
+    # ------------------------------------------------------------------
+
+    def violation_counts(self) -> Dict[str, int]:
+        """Cluster-wide histogram kind -> count."""
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.kind] = counts.get(violation.kind, 0) + 1
+        return counts
+
+    def per_group_counts(self) -> Dict[str, Dict[str, int]]:
+        """Histogram kind -> count for every group (groups in gid order)."""
+        return {name: monitor.violation_counts()
+                for name, monitor in self.monitors.items()}

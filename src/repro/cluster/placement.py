@@ -1,0 +1,191 @@
+"""Placement: admission-budgeted assignment of replication groups to hosts.
+
+Every simulated machine carries a :class:`HostSlot` — its shared CPU and a
+host-level :class:`~repro.core.admission.AdmissionController` holding the
+aggregate backup-update task set of *every* group replica placed there.  A
+group lands on a host only if that controller accepts the group's whole
+task set (the paper's RM admission test, Section 4.2, applied per host
+instead of per pair), so co-located shards can never oversubscribe a CPU
+that the single-group analysis would have guaranteed.
+
+Replica placement walks the shard map's rendezvous ranking of the live
+hosts and takes the first host that admits the group; the primary and each
+backup must land on distinct hosts.  The group is charged on *every* host
+holding one of its replicas — which is exactly why a failover needs no
+re-budgeting: both sides were already paid for.  When no host combination
+admits the group, placement returns a :class:`PlacementRejection` carrying
+the admission controller's reason and QoS suggestion (the paper's
+"negotiate for an alternative quality of service", at cluster scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.admission import AdmissionController, AdmissionDecision
+from repro.core.spec import ObjectSpec, ServiceConfig
+from repro.net.ip import Host
+from repro.sched.processor import Processor
+
+from repro.cluster.shardmap import ShardMap
+
+
+@dataclass
+class HostSlot:
+    """One simulated machine of the pool: NIC, shared CPU, admission budget."""
+
+    host: Host
+    processor: Processor
+    admission: AdmissionController
+    alive: bool = True
+    #: gid -> object ids charged on this host for that group.
+    charges: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def address(self) -> int:
+        return self.host.address
+
+    def hosted_groups(self) -> List[int]:
+        """Group ids currently charged here, ascending."""
+        return sorted(self.charges)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A successful group placement: primary host + backup host(s)."""
+
+    gid: int
+    primary: int
+    backups: Tuple[int, ...]
+
+    @property
+    def addresses(self) -> Tuple[int, ...]:
+        return (self.primary, *self.backups)
+
+
+@dataclass(frozen=True)
+class PlacementRejection:
+    """Cluster-over-capacity feedback: why a group could not be placed."""
+
+    gid: int
+    time: float
+    role: str
+    reason: str
+    #: Alternative QoS the admission controller would accept, if it could
+    #: compute one (JSON-safe, straight from :class:`AdmissionDecision`).
+    suggestion: Optional[Dict[str, float]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        summary: Dict[str, object] = {
+            "gid": self.gid, "time": self.time, "role": self.role,
+            "reason": self.reason}
+        if self.suggestion is not None:
+            summary["suggestion"] = dict(self.suggestion)
+        return summary
+
+
+class PlacementEngine:
+    """Places replication groups onto the host pool under admission."""
+
+    def __init__(self, slots: Dict[int, HostSlot], shard_map: ShardMap,
+                 config: ServiceConfig) -> None:
+        self.slots = slots
+        self.shard_map = shard_map
+        self.config = config
+
+    # ------------------------------------------------------------------
+
+    def live_addresses(self) -> List[int]:
+        return sorted(address for address, slot in self.slots.items()
+                      if slot.alive)
+
+    def try_admit(self, slot: HostSlot, gid: int,
+                  specs: Sequence[ObjectSpec]) -> AdmissionDecision:
+        """Charge a whole group onto one host's budget, atomically.
+
+        Either every spec is admitted (and recorded under ``gid`` in the
+        slot's charges) or none is — a partial failure rolls back the
+        specs already admitted, leaving the budget untouched.
+        """
+        admitted: List[int] = []
+        for spec in specs:
+            decision = slot.admission.admit(spec)
+            if not decision.accepted:
+                for object_id in admitted:
+                    slot.admission.remove(object_id)
+                return decision
+            admitted.append(spec.object_id)
+        slot.charges[gid] = admitted
+        return AdmissionDecision(accepted=True)
+
+    def release(self, gid: int, address: Optional[int] = None) -> None:
+        """Refund a group's charge on one host (or on every host)."""
+        addresses = ([address] if address is not None
+                     else sorted(self.slots))
+        for candidate in addresses:
+            slot = self.slots.get(candidate)
+            if slot is None:
+                continue
+            for object_id in slot.charges.pop(gid, []):
+                slot.admission.remove(object_id)
+
+    # ------------------------------------------------------------------
+
+    def place_replica(self, gid: int, specs: Sequence[ObjectSpec],
+                      role: str, now: float,
+                      exclude: Sequence[int] = ()
+                      ) -> Union[int, PlacementRejection]:
+        """Find one admitting host for a single replica of group ``gid``.
+
+        Walks the rendezvous ranking of live, non-excluded hosts; returns
+        the chosen address (already charged) or a rejection carrying the
+        *last* admission refusal (the closest-to-fitting feedback).
+        """
+        excluded = set(exclude)
+        candidates = [address for address
+                      in self.shard_map.rank_hosts(gid, role,
+                                                   self.live_addresses())
+                      if address not in excluded]
+        last: Optional[AdmissionDecision] = None
+        for address in candidates:
+            decision = self.try_admit(self.slots[address], gid, specs)
+            if decision.accepted:
+                return address
+            last = decision
+        reason = (last.reason if last is not None else "no-live-host")
+        suggestion = last.suggestion if last is not None else None
+        return PlacementRejection(gid=gid, time=now, role=role,
+                                  reason=reason, suggestion=suggestion)
+
+    def place_group(self, gid: int, specs: Sequence[ObjectSpec],
+                    n_backups: int, now: float
+                    ) -> Union[Placement, PlacementRejection]:
+        """Place a whole group: one primary plus ``n_backups`` backups,
+        all on distinct hosts, each host's budget accepting the group.
+
+        On any failure every charge made so far is rolled back, so a
+        rejected group leaves the cluster budget exactly as it found it.
+        """
+        primary = self.place_replica(gid, specs, "primary", now)
+        if isinstance(primary, PlacementRejection):
+            return primary
+        taken = [primary]
+        backups: List[int] = []
+        for index in range(n_backups):
+            backup = self.place_replica(gid, specs, f"backup{index}", now,
+                                        exclude=taken)
+            if isinstance(backup, PlacementRejection):
+                for address in taken:
+                    self.release(gid, address)
+                return backup
+            backups.append(backup)
+            taken.append(backup)
+        return Placement(gid=gid, primary=primary, backups=tuple(backups))
+
+    # ------------------------------------------------------------------
+
+    def utilization(self) -> Dict[int, float]:
+        """Planned CPU utilization per host address (diagnostics)."""
+        return {address: slot.admission.planned_utilization()
+                for address, slot in sorted(self.slots.items())}

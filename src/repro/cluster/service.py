@@ -1,0 +1,590 @@
+"""The sharded cluster facade: many RTPB groups, one simulator, one fabric.
+
+:class:`ClusterService` scales the paper's single primary/backup pair out
+to *N* replication groups (one per shard) co-located on a pool of *M*
+simulated hosts:
+
+- the :class:`~repro.cluster.shardmap.ShardMap` assigns each registered
+  object to its owning group (rendezvous hashing over object names);
+- the :class:`~repro.cluster.placement.PlacementEngine` places each
+  group's primary and backup(s) on distinct hosts, but only where the
+  per-host RM admission budget accepts the group's aggregate update task
+  set (Section 4.2's test, applied to co-located shards);
+- the shared :class:`~repro.core.name_service.NameService` acts as the
+  cluster directory — one entry per group — and carries a liveness probe
+  so clients of a dead, not-yet-failed-over group get
+  :class:`~repro.errors.NoRouteError` instead of a dead address;
+- a periodic **manager sweep** (the rebalancer) replaces groups whose
+  hosts all died (re-running admission on the surviving hosts, with
+  rejection feedback when the cluster is over capacity) and recruits
+  spares for groups that lost one replica.
+
+Each group is itself a duck-typed deployment view
+(:class:`ReplicationGroup` exposes the :class:`RTPBService` introspection
+surface), so the existing per-service machinery — `SensorClient`,
+`InvariantMonitor`, the metric collectors — runs unchanged per shard.
+
+Trace categories: ``cluster_place``, ``cluster_reject``,
+``cluster_host_down``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.admission import AdmissionController
+from repro.core.client import SensorClient
+from repro.core.failure import CrashInjector
+from repro.core.name_service import NameService
+from repro.core.server import ReplicaServer, Role, build_processor
+from repro.core.spec import ObjectSpec, SchedulingMode, ServiceConfig
+from repro.errors import ClusterError, ReplicationError
+from repro.net.ip import Host
+from repro.net.link import LossModel, NetworkFabric
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+from repro.workload.environment import EnvironmentModel
+
+from repro.cluster.placement import (
+    HostSlot,
+    Placement,
+    PlacementEngine,
+    PlacementRejection,
+)
+from repro.cluster.shardmap import ShardMap
+
+#: Each group binds ``CLUSTER_PORT_BASE + gid`` on every host it occupies,
+#: so co-located groups demultiplex cleanly on one shared UDP stack.
+CLUSTER_PORT_BASE = 7000
+
+
+class ReplicationGroup:
+    """One shard's replication group: a logical, re-placeable deployment.
+
+    The group object persists across *incarnations* (initial placement,
+    re-placements after host deaths); its ``members`` list holds the live
+    incarnation's servers.  It duck-types the ``RTPBService`` introspection
+    surface so monitors, clients and metric collectors treat it as a
+    single-shard deployment sharing the cluster's simulator and trace.
+    """
+
+    def __init__(self, cluster: "ClusterService", gid: int) -> None:
+        self.cluster = cluster
+        self.gid = gid
+        self.name = f"{cluster.service_name}/g{gid:02d}"
+        self.port = CLUSTER_PORT_BASE + gid
+        #: Objects the shard map routed here (registration order).
+        self.specs: List[ObjectSpec] = []
+        #: Current incarnation's servers (creation order; primary first).
+        self.members: List[ReplicaServer] = []
+        #: Decommissioned servers of earlier incarnations (debugging).
+        self.retired: List[ReplicaServer] = []
+        self.client: Optional[SensorClient] = None
+        self.parked = False
+        #: Completed placements (1 = initial, +1 per re-placement).
+        self.placements = 0
+        self._registered: List[ObjectSpec] = []
+
+    # -- RTPBService-compatible surface ---------------------------------
+
+    @property
+    def sim(self) -> Simulator:
+        return self.cluster.sim
+
+    @property
+    def config(self) -> ServiceConfig:
+        return self.cluster.config
+
+    @property
+    def name_service(self) -> NameService:
+        return self.cluster.name_service
+
+    @property
+    def service_name(self) -> str:
+        return self.name
+
+    @property
+    def trace(self) -> Tracer:
+        return self.cluster.sim.trace
+
+    @property
+    def servers(self) -> Dict[int, ReplicaServer]:
+        return dict(enumerate(self.members))
+
+    @property
+    def clients(self) -> List[SensorClient]:
+        return [self.client] if self.client is not None else []
+
+    def registered_specs(self) -> List[ObjectSpec]:
+        return list(self._registered)
+
+    def current_primary(self) -> ReplicaServer:
+        for member in self.members:
+            if member.alive and member.role is Role.PRIMARY:
+                return member
+        raise ReplicationError(f"no live primary in group {self.name}")
+
+    def current_backup(self) -> Optional[ReplicaServer]:
+        for member in self.members:
+            if member.alive and member.role is Role.BACKUP:
+                return member
+        return None
+
+    # -- group-local helpers --------------------------------------------
+
+    def live_members(self) -> List[ReplicaServer]:
+        return [member for member in self.members if member.alive]
+
+    def server_at(self, address: int) -> Optional[ReplicaServer]:
+        """The member at a fabric address (live members preferred)."""
+        for member in self.members:
+            if member.host.address == address and member.alive:
+                return member
+        for member in self.members:
+            if member.host.address == address:
+                return member
+        return None
+
+    def authoritative_primary(self) -> Optional[ReplicaServer]:
+        """The live PRIMARY the name file currently points at, if any."""
+        published = self.name_service.peek(self.name)
+        if published is None:
+            return None
+        for member in self.members:
+            if (member.alive and member.role is Role.PRIMARY
+                    and member.host.address == published):
+                return member
+        return None
+
+    def object_ids(self) -> List[int]:
+        return [spec.object_id for spec in self._registered]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        live = len(self.live_members())
+        return (f"<ReplicationGroup {self.name} {live}/{len(self.members)} "
+                f"live, {len(self._registered)} objects>")
+
+
+class ClusterService:
+    """A sharded RTPB deployment: N groups over M hosts, one simulator."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None, seed: int = 0,
+                 loss_model: Optional[LossModel] = None,
+                 n_shards: int = 16, n_hosts: int = 6,
+                 backups_per_group: int = 1,
+                 rebalance_period: float = 0.5,
+                 write_jitter: float = 0.0,
+                 service_name: str = "rtpb") -> None:
+        self.config = config if config is not None else ServiceConfig()
+        if self.config.scheduling_mode is SchedulingMode.COMPRESSED:
+            raise ClusterError(
+                "compressed update scheduling claims the whole CPU idle "
+                "callback and cannot be shared between co-located groups")
+        if self.config.use_deferrable_server:
+            raise ClusterError(
+                "per-server deferrable-server reservations are not "
+                "supported on shared cluster hosts")
+        if n_shards < 1:
+            raise ClusterError(f"need at least one shard, got {n_shards}")
+        if backups_per_group < 1:
+            raise ClusterError(
+                f"need at least one backup per group, got {backups_per_group}")
+        if n_hosts < backups_per_group + 1:
+            raise ClusterError(
+                f"{n_hosts} hosts cannot hold a primary plus "
+                f"{backups_per_group} backup(s) on distinct hosts")
+        if rebalance_period <= 0:
+            raise ClusterError(
+                f"rebalance period must be > 0: {rebalance_period}")
+
+        self.service_name = service_name
+        self.n_shards = n_shards
+        self.n_hosts = n_hosts
+        self.backups_per_group = backups_per_group
+        self.rebalance_period = rebalance_period
+        self.write_jitter = write_jitter
+
+        self.sim = Simulator(seed=seed)
+        self.fabric = NetworkFabric(
+            self.sim, delay_bound=self.config.ell,
+            delay_min=self.config.link_delay_min, loss_model=loss_model)
+        self.name_service = NameService(self.sim)
+        self.name_service.set_liveness_probe(self._entry_alive)
+        self.environment = EnvironmentModel(seed=seed)
+        self.injector = CrashInjector(self.sim)
+        self.shard_map = ShardMap(n_shards, salt=service_name)
+
+        #: The host pool: fabric addresses 1..n_hosts, shared CPUs.
+        self.slots: Dict[int, HostSlot] = {}
+        for index in range(n_hosts):
+            address = index + 1
+            host = Host(self.sim, self.fabric, f"host{address}", address)
+            self.slots[address] = HostSlot(
+                host=host,
+                processor=build_processor(self.sim, self.config,
+                                          name=f"{host.name}.cpu"),
+                admission=AdmissionController(self.config))
+        self.placement = PlacementEngine(self.slots, self.shard_map,
+                                         self.config)
+
+        self.groups: List[ReplicationGroup] = [
+            ReplicationGroup(self, gid) for gid in range(n_shards)]
+        self._groups_by_name: Dict[str, ReplicationGroup] = {
+            group.name: group for group in self.groups}
+        #: Every placement rejection, in occurrence order (over-capacity
+        #: feedback; also traced as ``cluster_reject``).
+        self.rejections: List[PlacementRejection] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Configuration phase
+    # ------------------------------------------------------------------
+
+    def register(self, spec: ObjectSpec) -> ReplicationGroup:
+        """Route one object to its owning group (admission runs at
+        placement time, against the destination hosts' budgets)."""
+        if self._started:
+            raise ClusterError("register objects before start()")
+        group = self.groups[self.shard_map.shard_of(spec.name)]
+        group.specs.append(spec)
+        return group
+
+    def register_all(self, specs: Sequence[ObjectSpec]
+                     ) -> List[ReplicationGroup]:
+        return [self.register(spec) for spec in specs]
+
+    def registered_specs(self) -> List[ObjectSpec]:
+        """Accepted specs across all groups, ordered by object id."""
+        merged = [spec for group in self.groups
+                  for spec in group.registered_specs()]
+        return sorted(merged, key=lambda spec: spec.object_id)
+
+    def group_named(self, name: str) -> ReplicationGroup:
+        group = self._groups_by_name.get(name)
+        if group is None:
+            raise ClusterError(f"no group named {name!r}")
+        return group
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Place every group and start the manager sweep (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for group in self.groups:
+            self._place_group(group, event="initial")
+        self.sim.schedule(self.rebalance_period, self._sweep)
+
+    def run(self, horizon: float) -> None:
+        self.start()
+        self.sim.run(until=horizon)
+
+    # ------------------------------------------------------------------
+    # Placement / re-placement
+    # ------------------------------------------------------------------
+
+    def _place_group(self, group: ReplicationGroup, event: str) -> bool:
+        """Place one group's replicas; False (and feedback) on rejection."""
+        placed = self.placement.place_group(
+            group.gid, group.specs, self.backups_per_group, self.sim.now)
+        if isinstance(placed, PlacementRejection):
+            if not group.parked:
+                group.parked = True
+                self.rejections.append(placed)
+                self.sim.trace.record(
+                    "cluster_reject", group=group.name, role=placed.role,
+                    reason=placed.reason)
+            return False
+        group.parked = False
+        self._instantiate(group, placed, event)
+        return True
+
+    def _instantiate(self, group: ReplicationGroup,
+                     placed: Placement, event: str) -> None:
+        """Create, register and start one incarnation of a group."""
+        primary_slot = self.slots[placed.primary]
+        backup_slots = [self.slots[address] for address in placed.backups]
+
+        def member_name(slot: HostSlot) -> str:
+            return f"{group.name}@{slot.host.name}"
+
+        new_members: List[ReplicaServer]
+        if self.backups_per_group == 1:
+            primary = ReplicaServer(
+                self.sim, primary_slot.host, self.config, self.name_service,
+                role=Role.PRIMARY, peer_address=placed.backups[0],
+                service_name=group.name, port=group.port,
+                processor=primary_slot.processor, owns_host=False,
+                name=member_name(primary_slot))
+            backup = ReplicaServer(
+                self.sim, backup_slots[0].host, self.config,
+                self.name_service, role=Role.BACKUP,
+                peer_address=placed.primary,
+                service_name=group.name, port=group.port,
+                processor=backup_slots[0].processor, owns_host=False,
+                name=member_name(backup_slots[0]))
+            new_members = [primary, backup]
+        else:
+            from repro.extensions.multibackup import MultiBackupServer
+
+            succession = list(placed.backups)
+            primary = MultiBackupServer(
+                self.sim, primary_slot.host, self.config, self.name_service,
+                role=Role.PRIMARY, succession=succession,
+                service_name=group.name, port=group.port,
+                processor=primary_slot.processor, owns_host=False,
+                name=member_name(primary_slot))
+            new_members = [primary]
+            for slot in backup_slots:
+                new_members.append(MultiBackupServer(
+                    self.sim, slot.host, self.config, self.name_service,
+                    role=Role.BACKUP, succession=succession,
+                    peer_address=placed.primary,
+                    service_name=group.name, port=group.port,
+                    processor=slot.processor, owns_host=False,
+                    name=member_name(slot)))
+
+        group.members.extend(new_members)
+        group._registered = []
+        for spec in group.specs:
+            decision = primary.register_object(spec)
+            if decision.accepted:
+                group._registered.append(spec)
+        self.sim.trace.record(
+            "cluster_place", group=group.name, event=event,
+            primary=primary_slot.host.name,
+            backups=",".join(slot.host.name for slot in backup_slots),
+            objects=len(group._registered))
+        if group.client is None and group._registered:
+            group.client = SensorClient(
+                self.sim, self.environment, self.name_service, group.name,
+                resolver=group.server_at, specs=group._registered,
+                name=f"{group.name}.client", write_jitter=self.write_jitter)
+            if self._started:
+                group.client.start()
+        for member in new_members:
+            member.local_client = group.client
+        for member in new_members:
+            member.start()
+        group.placements += 1
+
+    def _retire_dead(self, group: ReplicationGroup) -> None:
+        """Decommission dead members: close their group port, refund their
+        hosts' admission charges, move them to the retired list."""
+        keep: List[ReplicaServer] = []
+        for member in group.members:
+            if member.alive:
+                keep.append(member)
+                continue
+            member.decommission()
+            self.placement.release(group.gid, member.host.address)
+            group.retired.append(member)
+        group.members = keep
+
+    # ------------------------------------------------------------------
+    # The manager sweep (rebalancer)
+    # ------------------------------------------------------------------
+
+    def _sweep(self) -> None:
+        """Periodic management-plane pass over the groups, in gid order.
+
+        A group with no live member is fully re-placed on the surviving
+        hosts (admission re-checked; parked with rejection feedback when
+        the cluster is over capacity — and retried every sweep).  A pair
+        group that lost its backup gets a spare recruited next to its
+        authoritative primary.  Multi-backup groups only get the full
+        re-placement treatment: their partial repair (re-filling one seat
+        of a succession list) is a documented non-goal.
+        """
+        for group in self.groups:
+            if not group.live_members():
+                self._retire_dead(group)
+                self.name_service.unpublish(group.name)
+                self._place_group(group, event="replace")
+            elif self.backups_per_group == 1:
+                self._repair_pair(group)
+        self.sim.schedule(self.rebalance_period, self._sweep)
+
+    def _repair_pair(self, group: ReplicationGroup) -> None:
+        live = group.live_members()
+        has_standby = any(member.role in (Role.BACKUP, Role.SPARE)
+                          for member in live)
+        if not has_standby:
+            self._spawn_spare(group)
+            return
+        # A spare can stall mid-recruitment (e.g. the RECRUIT exchange was
+        # cut by a partition until the primary gave up): re-nudge the
+        # authoritative primary while it has no peer.
+        spare = next((member for member in live
+                      if member.role is Role.SPARE), None)
+        primary = group.authoritative_primary()
+        if (spare is not None and primary is not None
+                and primary.peer_address is None):
+            primary.notice_spare(spare.host.address)
+
+    def _spawn_spare(self, group: ReplicationGroup) -> None:
+        """Place a fresh SPARE for a pair group that lost one replica and
+        hand it to the authoritative primary for recruitment."""
+        primary = group.authoritative_primary()
+        if primary is None:
+            return  # failover still in flight; retry next sweep
+        self._retire_dead(group)
+        exclude = [member.host.address for member in group.members]
+        placed = self.placement.place_replica(
+            group.gid, group.specs, "spare", self.sim.now, exclude=exclude)
+        if isinstance(placed, PlacementRejection):
+            if not group.parked:
+                group.parked = True
+                self.rejections.append(placed)
+                self.sim.trace.record(
+                    "cluster_reject", group=group.name, role=placed.role,
+                    reason=placed.reason)
+            return
+        group.parked = False
+        slot = self.slots[placed]
+        spare = ReplicaServer(
+            self.sim, slot.host, self.config, self.name_service,
+            role=Role.SPARE, service_name=group.name, port=group.port,
+            processor=slot.processor, owns_host=False,
+            name=f"{group.name}@{slot.host.name}")
+        spare.local_client = group.client
+        group.members.append(spare)
+        spare.start()
+        self.sim.trace.record("cluster_place", group=group.name,
+                              event="spare", primary=primary.name,
+                              backups=slot.host.name,
+                              objects=len(group._registered))
+        primary.notice_spare(placed)
+
+    # ------------------------------------------------------------------
+    # Host-level failures
+    # ------------------------------------------------------------------
+
+    def kill_host(self, address: int) -> None:
+        """Take a whole machine down: NIC, budget, every resident server.
+
+        Dead hosts never rejoin the pool in this model (recovered capacity
+        would arrive as *new* hosts); the manager sweep re-places any group
+        this kill left without live members.
+        """
+        slot = self.slots.get(address)
+        if slot is None:
+            raise ClusterError(f"no host at address {address}")
+        if not slot.alive:
+            return
+        slot.alive = False
+        slot.host.fail()
+        self.sim.trace.record("cluster_host_down", host=slot.host.name,
+                              address=address)
+        for group in self.groups:
+            for member in group.members:
+                if member.host.address == address and member.alive:
+                    member.crash()
+
+    # ------------------------------------------------------------------
+    # Directory liveness (the stale-entry guard)
+    # ------------------------------------------------------------------
+
+    def _entry_alive(self, name: str, address: int) -> bool:
+        """Name-file probe: is a live PRIMARY of ``name``'s group actually
+        at ``address``?  Foreign names (not a group of this cluster) pass."""
+        group = self._groups_by_name.get(name)
+        if group is None:
+            return True
+        return any(member.alive and member.role is Role.PRIMARY
+                   and member.host.address == address
+                   for member in group.members)
+
+    # ------------------------------------------------------------------
+    # Introspection / fault-injection surface
+    # ------------------------------------------------------------------
+
+    @property
+    def servers(self) -> Dict[str, ReplicaServer]:
+        """Every live-incarnation server, keyed ``"<group>#<index>"`` in
+        deterministic (gid, member) order — the injector's generic loop."""
+        return {f"{group.name}#{index}": member
+                for group in self.groups
+                for index, member in enumerate(group.members)}
+
+    @property
+    def clients(self) -> List[SensorClient]:
+        return [group.client for group in self.groups
+                if group.client is not None]
+
+    def current_primary(self) -> ReplicaServer:
+        """A sharded cluster has no single primary — ask a group.
+
+        Raising :class:`ReplicationError` (not ``AttributeError``) keeps the
+        cluster usable as a whole-deployment view for the metric collectors,
+        whose provisioning fallback catches exactly that.
+        """
+        raise ReplicationError(
+            "a sharded cluster has no single primary; use "
+            "group_named(...).current_primary()")
+
+    def current_backup(self) -> Optional[ReplicaServer]:
+        return None
+
+    def resolve_server(self, address: int) -> Optional[ReplicaServer]:
+        """First live server at a fabric address (any group), else any."""
+        for group in self.groups:
+            for member in group.members:
+                if member.host.address == address and member.alive:
+                    return member
+        for group in self.groups:
+            for member in group.members:
+                if member.host.address == address:
+                    return member
+        return None
+
+    def resolve_fault_target(self, target: Union[int, str]
+                             ) -> Optional[ReplicaServer]:
+        """Group-scoped fault targets: ``"g03/primary"``, ``"g03/backup"``,
+        ``"g03/spare"``, ``"g03/deposed"`` (a live primary the name file no
+        longer points at — the split-brain loser).  Full group names work
+        too (``"rtpb/g03/primary"``).  Anything else returns None and falls
+        through to the injector's generic resolution.
+        """
+        if not isinstance(target, str) or "/" not in target:
+            return None
+        prefix, selector = target.rsplit("/", 1)
+        group = self._group_for_prefix(prefix)
+        if group is None:
+            return None
+        if selector == "primary":
+            live = [member for member in group.members
+                    if member.alive and member.role is Role.PRIMARY]
+            authoritative = group.authoritative_primary()
+            if authoritative is not None:
+                return authoritative
+            return live[0] if live else None
+        if selector == "backup":
+            return next((member for member in group.members
+                         if member.alive and member.role is Role.BACKUP),
+                        None)
+        if selector == "spare":
+            return next((member for member in group.members
+                         if member.alive and member.role is Role.SPARE),
+                        None)
+        if selector == "deposed":
+            published = self.name_service.peek(group.name)
+            return next(
+                (member for member in group.members
+                 if member.alive and member.role is Role.PRIMARY
+                 and member.host.address != published), None)
+        return None
+
+    def _group_for_prefix(self, prefix: str) -> Optional[ReplicationGroup]:
+        for group in self.groups:
+            short = f"g{group.gid:02d}"
+            if prefix in (group.name, short, f"g{group.gid}"):
+                return group
+        return None
+
+    @property
+    def trace(self) -> Tracer:
+        return self.sim.trace

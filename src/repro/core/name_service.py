@@ -9,10 +9,13 @@ equivalent of an NFS-mounted file or a well-known name server).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import NoRouteError
 from repro.sim.engine import Simulator
+
+#: Sentinel address recorded in :attr:`NameService.changes` for an unpublish.
+UNPUBLISHED = -1
 
 
 class NameService:
@@ -21,8 +24,10 @@ class NameService:
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._entries: Dict[str, int] = {}
-        #: Full change history: (time, name, address).
+        #: Full change history: (time, name, address); ``UNPUBLISHED`` (-1)
+        #: as the address marks a removal.
         self.changes: List[Tuple[float, str, int]] = []
+        self._liveness: Optional[Callable[[str, int], bool]] = None
 
     def publish(self, name: str, address: int) -> None:
         """Set (or update) the address serving ``name``."""
@@ -30,12 +35,57 @@ class NameService:
         self.changes.append((self.sim.now, name, address))
         self.sim.trace.record("name_update", name=name, address=address)
 
+    def unpublish(self, name: str) -> None:
+        """Remove the entry for ``name`` (idempotent).
+
+        Decommissioning a replication group leaves no forwarding address:
+        subsequent lookups raise :class:`NoRouteError` instead of handing
+        clients a dead address.
+        """
+        if self._entries.pop(name, None) is None:
+            return
+        self.changes.append((self.sim.now, name, UNPUBLISHED))
+        self.sim.trace.record("name_unpublish", name=name)
+
+    def set_liveness_probe(self,
+                           probe: Optional[Callable[[str, int], bool]]) -> None:
+        """Install a stale-entry guard consulted by :meth:`lookup`.
+
+        ``probe(name, address)`` should return True while a live server for
+        ``name`` is actually reachable at ``address``.  The name file itself
+        has no failure detector — an entry published by a primary that later
+        crashed (and was never failed over) still points at the dead address.
+        A deployment facade that *does* know liveness (the cluster manager)
+        installs a probe so routing raises :class:`NoRouteError` instead of
+        returning a dead address.  Single-group services leave it unset and
+        keep the paper's behaviour: the stale entry stands until the new
+        primary overwrites it.
+        """
+        self._liveness = probe
+
     def lookup(self, name: str) -> int:
-        """Address currently serving ``name``; raises when unpublished."""
+        """Address currently serving ``name``; raises when unpublished.
+
+        With a liveness probe installed, a stale entry (dead server, no
+        failover recorded yet) also raises :class:`NoRouteError`.
+        """
         address = self._entries.get(name)
         if address is None:
             raise NoRouteError(f"service {name!r} not published")
+        if self._liveness is not None and not self._liveness(name, address):
+            raise NoRouteError(
+                f"service {name!r} entry at address {address} is stale")
         return address
+
+    def peek(self, name: str) -> Optional[int]:
+        """Raw entry for ``name`` (no liveness guard, no raise).
+
+        Observers that must see the name file exactly as written — the
+        invariant monitor deciding whether a crashed primary was
+        authoritative, a deposed multi-backup replica computing its rank —
+        use ``peek``; client routing uses :meth:`lookup`.
+        """
+        return self._entries.get(name)
 
     def knows(self, name: str) -> bool:
         return name in self._entries

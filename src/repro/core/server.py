@@ -63,14 +63,38 @@ class Role(enum.Enum):
     SPARE = "spare"
 
 
+def build_processor(sim: Simulator, config: ServiceConfig,
+                    name: str) -> Processor:
+    """A CPU with the scheduler the configuration asks for (EDF or RM).
+
+    Single-group services build one per server; the cluster facade builds
+    one per *host* and shares it among the co-located replica servers.
+    """
+    scheduler = (EDFScheduler() if config.cpu_scheduler == "edf"
+                 else RateMonotonicScheduler())
+    return Processor(sim, scheduler, name=name)
+
+
 class ReplicaServer:
-    """One RTPB server instance on one host."""
+    """One RTPB server instance on one host.
+
+    By default a server owns its host (a crash takes the NIC down, the
+    paper's single-group deployment).  A cluster facade co-locates several
+    servers per host: those are constructed with ``owns_host=False`` (a
+    crash is process death — the host and its other servers keep running),
+    a per-group ``port``, a shared per-host ``processor``, and a distinct
+    ``name`` so trace records stay unambiguous.
+    """
 
     def __init__(self, sim: Simulator, host: Host, config: ServiceConfig,
                  name_service: NameService, role: Role,
                  service_name: str = "rtpb",
                  peer_address: Optional[int] = None,
-                 spare_addresses: Optional[List[int]] = None) -> None:
+                 spare_addresses: Optional[List[int]] = None,
+                 port: int = RTPB_PORT,
+                 processor: Optional[Processor] = None,
+                 owns_host: bool = True,
+                 name: Optional[str] = None) -> None:
         self.sim = sim
         self.host = host
         self.config = config
@@ -79,11 +103,17 @@ class ReplicaServer:
         self.service_name = service_name
         self.peer_address = peer_address
         self.spare_addresses = list(spare_addresses or [])
+        self.port = port
+        self.owns_host = owns_host
+        #: Trace/monitor identity; defaults to the host name, so single-group
+        #: deployments keep their historical trace digests.
+        self.name = name if name is not None else host.name
         self.alive = True
+        self.decommissioned = False
 
-        scheduler = (EDFScheduler() if config.cpu_scheduler == "edf"
-                     else RateMonotonicScheduler())
-        self.processor = Processor(sim, scheduler, name=f"{host.name}.cpu")
+        self.processor = (processor if processor is not None
+                          else build_processor(sim, config,
+                                               name=f"{host.name}.cpu"))
         self.deferrable_server = None
         if config.use_deferrable_server:
             from repro.sched.aperiodic import DeferrableServer
@@ -93,7 +123,7 @@ class ReplicaServer:
                 period=config.ds_period, name=f"{host.name}.ds")
         self.store = ObjectStore()
         self.admission = AdmissionController(config)
-        self.endpoint = host.udp_endpoint(RTPB_PORT,
+        self.endpoint = host.udp_endpoint(self.port,
                                           on_receive=self._on_datagram)
         self.transmitter = UpdateTransmitter(
             sim, self.processor, self.store, config, send=self._send_to_peer)
@@ -101,7 +131,7 @@ class ReplicaServer:
                      else ROLE_BACKUP_WIRE)
         self.ping = PingManager(
             sim, config, role=wire_role, send=self._send_to_peer,
-            on_peer_dead=self._peer_dead, name=host.name)
+            on_peer_dead=self._peer_dead, name=self.name)
 
         #: The client application co-located with this server; registered by
         #: the service facade so failover can activate the replica client.
@@ -139,15 +169,21 @@ class ReplicaServer:
         # SPARE: passive until recruited.
 
     def crash(self) -> None:
-        """Suffer a crash failure: stop everything, NIC down (Section 4.1)."""
+        """Suffer a crash failure: stop everything (Section 4.1).
+
+        When this server owns its host the NIC goes down with it; a
+        co-located server (``owns_host=False``) dies as a process, leaving
+        the host — and its neighbours — running.
+        """
         if not self.alive:
             return
         self.alive = False
-        self.host.fail()
+        if self.owns_host:
+            self.host.fail()
         self.ping.stop()
         self.transmitter.stop()
         self._watchdog_running = False
-        self.sim.trace.record("server_crash", server=self.host.name,
+        self.sim.trace.record("server_crash", server=self.name,
                               role=self.role.value)
 
     def recover(self) -> None:
@@ -159,15 +195,29 @@ class ReplicaServer:
         refresh safe.  It cannot resume its old role: the name file may have
         moved while it was down, so it waits to be recruited (Section 4.4).
         """
-        if self.alive:
+        if self.alive or self.decommissioned:
             return
         self.alive = True
-        self.host.recover()
+        if self.owns_host:
+            self.host.recover()
         self.role = Role.SPARE
         self.peer_address = None
         self._recruiting = False
         self._register_acked.clear()
-        self.sim.trace.record("server_recover", server=self.host.name)
+        self.sim.trace.record("server_recover", server=self.name)
+
+    def decommission(self) -> None:
+        """Retire this server instance for good: crash it if needed and
+        release its UDP port so a replacement can bind the same (host, port).
+
+        The cluster manager decommissions dead members before re-placing
+        their group; a decommissioned server never recovers.
+        """
+        if self.decommissioned:
+            return
+        self.crash()
+        self.decommissioned = True
+        self.endpoint.close()
 
     def notice_spare(self, address: int) -> None:
         """Learn that a spare host is available at ``address``.
@@ -212,7 +262,7 @@ class ReplicaServer:
         """
         if not self.alive or self.role is not Role.PRIMARY:
             self.sim.trace.record("client_write_rejected", object=object_id,
-                                  server=self.host.name)
+                                  server=self.name)
             return False
         if object_id not in self.store:
             raise ReplicationError(
@@ -261,7 +311,7 @@ class ReplicaServer:
             or (self.role is Role.BACKUP and self.config.backup_reads_enabled))
         if not can_serve:
             self.sim.trace.record("client_read_rejected", object=object_id,
-                                  server=self.host.name)
+                                  server=self.name)
             return False
         if object_id not in self.store:
             raise ReplicationError(
@@ -276,7 +326,7 @@ class ReplicaServer:
                          if record.seq > 0 else float("inf"))
             response = self.sim.now - issue_time
             self.sim.trace.record("client_read", object=object_id,
-                                  server=self.host.name, issue=issue_time,
+                                  server=self.name, issue=issue_time,
                                   response=response, staleness=staleness)
             if on_complete is not None:
                 on_complete(record.value, staleness, response)
@@ -305,7 +355,7 @@ class ReplicaServer:
         """Admit an object and, on success, set up replication for it."""
         if self.role is not Role.PRIMARY:
             raise NotPrimaryError(
-                f"{self.host.name} is {self.role.value}, cannot register")
+                f"{self.name} is {self.role.value}, cannot register")
         decision = self.admission.admit(spec)
         self.sim.trace.record("registration", object=spec.object_id,
                               accepted=decision.accepted,
@@ -323,7 +373,7 @@ class ReplicaServer:
         """Admit an inter-object constraint; tightens transmission periods."""
         if self.role is not Role.PRIMARY:
             raise NotPrimaryError(
-                f"{self.host.name} is {self.role.value}, cannot add constraint")
+                f"{self.name} is {self.role.value}, cannot add constraint")
         decision = self.admission.add_constraint(constraint)
         self.sim.trace.record(
             "constraint", i=constraint.object_i, j=constraint.object_j,
@@ -366,14 +416,14 @@ class ReplicaServer:
         try:
             message = decode_message(data)
         except MessageFormatError:
-            self.sim.trace.record("rtpb_garbled", server=self.host.name)
+            self.sim.trace.record("rtpb_garbled", server=self.name)
             return
         source_address = source[0]
         try:
             if isinstance(message, UpdateMsg):
                 self._handle_update(message)
             elif isinstance(message, PingMsg):
-                self.endpoint.send(source_address, RTPB_PORT,
+                self.endpoint.send(source_address, self.port,
                                    self.ping.make_ack(message))
             elif isinstance(message, PingAckMsg):
                 self.ping.handle_ack(message)
@@ -393,7 +443,7 @@ class ReplicaServer:
             # A corrupted wire header can yield a source address no host
             # owns; a reply aimed there is a dropped packet, not a fault
             # in this server.
-            self.sim.trace.record("rtpb_garbled", server=self.host.name)
+            self.sim.trace.record("rtpb_garbled", server=self.name)
 
     # -- backup side ------------------------------------------------------
 
@@ -450,7 +500,7 @@ class ReplicaServer:
                 delta_backup=message.delta_backup)
             self.store.register(spec, update_period=message.update_period)
         self._last_update_at.setdefault(message.object_id, self.sim.now)
-        self.endpoint.send(source_address, RTPB_PORT, encode_message(
+        self.endpoint.send(source_address, self.port, encode_message(
             RegisterAckMsg(object_id=message.object_id, accepted=True)))
 
     def _handle_register_ack(self, message: RegisterAckMsg,
@@ -525,7 +575,7 @@ class ReplicaServer:
             # "If the backup is dead, the primary cancels the 'ping'
             # messages as well as update events for each registered object"
             # ... and then waits to recruit a new backup.
-            self.sim.trace.record("backup_lost", server=self.host.name)
+            self.sim.trace.record("backup_lost", server=self.name)
             self.transmitter.stop()
             self.peer_address = None
             self._register_acked.clear()
@@ -537,7 +587,7 @@ class ReplicaServer:
         """Backup takes over as the new primary."""
         if self.role is not Role.BACKUP or not self.alive:
             return
-        self.sim.trace.record("failover", new_primary=self.host.name)
+        self.sim.trace.record("failover", new_primary=self.name)
         self.role = Role.PRIMARY
         self.ping.stop()
         self._watchdog_running = False
@@ -571,7 +621,7 @@ class ReplicaServer:
             self.sim.trace.record("recruit_gave_up", spare=spare)
             self._recruiting = False
             return
-        self.endpoint.send(spare, RTPB_PORT, encode_message(RecruitMsg(
+        self.endpoint.send(spare, self.port, encode_message(RecruitMsg(
             primary_address=self.host.address,
             object_count=len(self.store))))
         self.sim.schedule(self.config.registration_retry_period,
@@ -582,15 +632,15 @@ class ReplicaServer:
         if self.role is not Role.SPARE:
             # Already recruited: re-ack (the first ack may have been lost).
             if self.role is Role.BACKUP and self.peer_address == source_address:
-                self.endpoint.send(source_address, RTPB_PORT, encode_message(
+                self.endpoint.send(source_address, self.port, encode_message(
                     RecruitAckMsg(backup_address=self.host.address)))
             return
         self.role = Role.BACKUP
         self.peer_address = message.primary_address
         self.ping.role = ROLE_BACKUP_WIRE
-        self.sim.trace.record("recruited", server=self.host.name,
+        self.sim.trace.record("recruited", server=self.name,
                               primary=message.primary_address)
-        self.endpoint.send(source_address, RTPB_PORT, encode_message(
+        self.endpoint.send(source_address, self.port, encode_message(
             RecruitAckMsg(backup_address=self.host.address)))
         self.ping.start()
         self._start_watchdog()
@@ -626,8 +676,8 @@ class ReplicaServer:
 
     def _send_to_peer(self, data: bytes) -> None:
         if self.alive and self.peer_address is not None:
-            self.endpoint.send(self.peer_address, RTPB_PORT, data)
+            self.endpoint.send(self.peer_address, self.port, data)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.alive else "crashed"
-        return f"<ReplicaServer {self.host.name} {self.role.value} {state}>"
+        return f"<ReplicaServer {self.name} {self.role.value} {state}>"

@@ -134,3 +134,7 @@ class ServerFailedError(ReplicationError):
 
 class ConsistencyViolationError(ReplicationError):
     """A temporal-consistency invariant was violated under strict checking."""
+
+
+class ClusterError(ReplicationError):
+    """Misconfiguration or unsupported feature of a sharded cluster."""

@@ -40,9 +40,12 @@ from repro.metrics.collectors import (
 from repro.workload.scenarios import Scenario, build_scenario
 
 if TYPE_CHECKING:
+    from repro.cluster.monitor import ClusterInvariantMonitor
+    from repro.cluster.service import ClusterService
     from repro.faults.injector import FaultInjector
     from repro.faults.monitor import InvariantMonitor
     from repro.faults.schedule import FaultSchedule
+    from repro.workload.cluster import ClusterScenario
 
 #: Trace categories the metric collectors consume.
 METRIC_TRACE_CATEGORIES = (
@@ -94,12 +97,12 @@ class RunResult:
     ``result.response`` / ``result.admitted`` call sites.
     """
 
-    scenario: Scenario
-    service: RTPBService
+    scenario: "Scenario | ClusterScenario"
+    service: "RTPBService | ClusterService"
     metrics: RunMetrics
     #: Set on chaos runs: the armed injector and the online monitor.
     injector: Optional[FaultInjector] = None
-    monitor: Optional[InvariantMonitor] = None
+    monitor: "InvariantMonitor | ClusterInvariantMonitor | None" = None
 
     @property
     def admitted(self) -> int:
@@ -130,7 +133,7 @@ class RunResult:
         return self.metrics.response.mean
 
 
-def run_scenario(scenario: Scenario, warmup: float = 2.0,
+def run_scenario(scenario: "Scenario | ClusterScenario", warmup: float = 2.0,
                  full_trace: bool = False,
                  fault_schedule: Optional[FaultSchedule] = None,
                  monitor: bool = False) -> RunResult:
@@ -141,8 +144,18 @@ def run_scenario(scenario: Scenario, warmup: float = 2.0,
     transient).  With ``fault_schedule`` the run becomes a chaos run; with
     ``monitor=True`` an :class:`InvariantMonitor` checks invariants online
     and its findings ride back on the result.
+
+    A :class:`~repro.workload.cluster.ClusterScenario` takes the cluster
+    path (:func:`repro.cluster.harness.run_cluster_scenario`) — same result
+    surface, so sweeps and workers dispatch on the scenario type alone.
     """
     # Local imports: repro.faults sits above the harness in the layering.
+    if not isinstance(scenario, Scenario):
+        from repro.cluster.harness import run_cluster_scenario
+
+        return run_cluster_scenario(
+            scenario, warmup=warmup, full_trace=full_trace,
+            fault_schedule=fault_schedule, monitor=monitor)
     service = build_scenario(scenario)
     if not full_trace:
         service.trace.enable_only(*METRIC_TRACE_CATEGORIES)

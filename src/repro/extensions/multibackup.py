@@ -42,6 +42,7 @@ from repro.core.rtpb_protocol import (
     encode_message,
 )
 from repro.core.server import ROLE_PRIMARY_WIRE, ReplicaServer, Role
+from repro.sched.processor import Processor
 from repro.core.spec import ObjectSpec, ServiceConfig
 from repro.errors import ReplicationError
 from repro.net.ip import Host
@@ -50,8 +51,12 @@ from repro.sim.engine import Simulator
 from repro.workload.environment import EnvironmentModel
 
 
-class MultiBackupserverError(ReplicationError):
+class MultiBackupServerError(ReplicationError):
     """Misconfiguration of a multi-backup deployment."""
+
+
+#: Deprecated alias (pre-PR-5 typo); import :class:`MultiBackupServerError`.
+MultiBackupserverError = MultiBackupServerError
 
 
 class MultiBackupServer(ReplicaServer):
@@ -60,11 +65,17 @@ class MultiBackupServer(ReplicaServer):
     def __init__(self, sim: Simulator, host: Host, config: ServiceConfig,
                  name_service: NameService, role: Role,
                  succession: List[int], service_name: str = "rtpb",
-                 peer_address: Optional[int] = None) -> None:
+                 peer_address: Optional[int] = None,
+                 port: int = RTPB_PORT,
+                 processor: Optional[Processor] = None,
+                 owns_host: bool = True,
+                 name: Optional[str] = None) -> None:
         super().__init__(sim, host, config, name_service, role,
-                         service_name=service_name, peer_address=peer_address)
+                         service_name=service_name, peer_address=peer_address,
+                         port=port, processor=processor, owns_host=owns_host,
+                         name=name)
         if not succession:
-            raise MultiBackupserverError("succession list must be non-empty")
+            raise MultiBackupServerError("succession list must be non-empty")
         #: Backup addresses in takeover order (same list on every replica).
         self.succession = list(succession)
         #: Backups this server currently replicates to (primary role).
@@ -110,7 +121,7 @@ class MultiBackupServer(ReplicaServer):
             return
         if self.role is Role.PRIMARY:
             for address in self.backup_addresses:
-                self.endpoint.send(address, RTPB_PORT, data)
+                self.endpoint.send(address, self.port, data)
         else:
             super()._send_to_peer(data)
 
@@ -130,7 +141,7 @@ class MultiBackupServer(ReplicaServer):
             self.sim.trace.record("registration_gave_up",
                                   object=spec.object_id, backup=address)
             return
-        self.endpoint.send(address, RTPB_PORT, encode_message(RegisterMsg(
+        self.endpoint.send(address, self.port, encode_message(RegisterMsg(
             object_id=spec.object_id, size_bytes=spec.size_bytes,
             client_period=spec.client_period,
             delta_primary=spec.delta_primary,
@@ -156,10 +167,10 @@ class MultiBackupServer(ReplicaServer):
             return
         manager = PingManager(
             self.sim, self.config, role=ROLE_PRIMARY_WIRE,
-            send=lambda data, a=address: self.endpoint.send(a, RTPB_PORT,
+            send=lambda data, a=address: self.endpoint.send(a, self.port,
                                                             data),
             on_peer_dead=lambda a=address: self._backup_dead(a),
-            name=f"{self.host.name}->b{address}")
+            name=f"{self.name}->b{address}")
         self._backup_pings[address] = manager
         manager.start()
 
@@ -167,7 +178,7 @@ class MultiBackupServer(ReplicaServer):
         """Drop one dead backup; replication to the rest continues."""
         if not self.alive or self.role is not Role.PRIMARY:
             return
-        self.sim.trace.record("backup_lost", server=self.host.name,
+        self.sim.trace.record("backup_lost", server=self.name,
                               backup=address)
         if address in self.backup_addresses:
             self.backup_addresses.remove(address)
@@ -223,8 +234,7 @@ class MultiBackupServer(ReplicaServer):
         # counting misses (all backups share the crash instant): if the name
         # file no longer points at our dead peer, follow it instead of
         # promoting a second primary.
-        current = (self.name_service.lookup(self.service_name)
-                   if self.name_service.knows(self.service_name) else None)
+        current = self.name_service.peek(self.service_name)
         if current is not None and current != self.peer_address:
             self._reattach_pending = True
             self._try_reattach()
@@ -233,7 +243,7 @@ class MultiBackupServer(ReplicaServer):
             self.promote()
         else:
             self.sim.trace.record("awaiting_new_primary",
-                                  server=self.host.name,
+                                  server=self.name,
                                   rank=self._effective_rank())
             self._reattach_pending = True
             self._try_reattach()
@@ -243,13 +253,12 @@ class MultiBackupServer(ReplicaServer):
         if not self.alive or not self._reattach_pending:
             return
         old_primary = self.peer_address
-        current = (self.name_service.lookup(self.service_name)
-                   if self.name_service.knows(self.service_name) else None)
+        current = self.name_service.peek(self.service_name)
         if current is not None and current != old_primary \
                 and current != self.host.address:
             self._reattach_pending = False
             self.peer_address = current
-            self.sim.trace.record("reattached", server=self.host.name,
+            self.sim.trace.record("reattached", server=self.name,
                                   primary=current)
             self.ping.stop()
             self.ping.start()
@@ -260,7 +269,7 @@ class MultiBackupServer(ReplicaServer):
         """Take over as primary and adopt the surviving backups."""
         if self.role is not Role.BACKUP or not self.alive:
             return
-        self.sim.trace.record("failover", new_primary=self.host.name)
+        self.sim.trace.record("failover", new_primary=self.name)
         self.role = Role.PRIMARY
         self.ping.stop()
         self._watchdog_running = False
@@ -306,7 +315,7 @@ class MultiBackupService:
                  loss_model: Optional[LossModel] = None,
                  service_name: str = "rtpb") -> None:
         if n_backups < 1:
-            raise MultiBackupserverError(
+            raise MultiBackupServerError(
                 f"need at least one backup, got {n_backups}")
         self.config = config if config is not None else ServiceConfig()
         self.service_name = service_name

@@ -29,6 +29,8 @@ from repro.faults.actions import (
     FaultAction,
     Heal,
     HealAll,
+    IsolateHost,
+    KillHost,
     LossBurst,
     Partition,
     PartitionAll,
@@ -59,6 +61,8 @@ __all__ = [
     "Heal",
     "PartitionAll",
     "HealAll",
+    "KillHost",
+    "IsolateHost",
     "LossBurst",
     "DelaySpike",
     "DuplicateMessages",

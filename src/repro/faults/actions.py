@@ -77,6 +77,66 @@ class RecoverServer(FaultAction):
 
 
 @dataclass
+class KillHost(FaultAction):
+    """Take a whole simulated machine down.
+
+    On a sharded cluster (the facade exposes ``kill_host``) every replica
+    server co-located on the target host crashes and the host's NIC and
+    admission budget die with it — the trigger for cluster re-placement.
+    On single-group deployments, where one server owns the whole host,
+    this degrades to :class:`CrashServer`.
+    """
+
+    target: Target
+
+    kind = "kill_host"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        server = injector.resolve_server(self.target)
+        if server is None:
+            return
+        kill = getattr(injector.service, "kill_host", None)
+        if kill is not None:
+            kill(server.host.address)
+        else:
+            server.crash()
+
+    def describe(self) -> Dict[str, object]:
+        return {"target": self.target}
+
+
+@dataclass
+class IsolateHost(FaultAction):
+    """Cut one host off from every other attached host for ``duration``.
+
+    A single-victim partition: the rest of the fabric keeps talking, the
+    victim hears nobody — the classic trigger for a split brain when the
+    victim is a backup (it promotes) or a primary (it keeps serving a
+    stale shard).  The heal releases every partition pair involving the
+    victim, including pairs an overlapping fault partitioned independently
+    (documented composition limitation of :meth:`NetworkFabric.set_isolated`).
+    """
+
+    duration: float
+    target: Target
+
+    kind = "isolate"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        if self.duration <= 0:
+            raise ProtocolError(
+                f"isolation duration must be > 0: {self.duration}")
+        address = injector.resolve_address(self.target)
+        injector.fabric.set_isolated(address, True)
+        injector.schedule_restore(self.duration,
+                                  injector.fabric.set_isolated, address,
+                                  False)
+
+    def describe(self) -> Dict[str, object]:
+        return {"duration": self.duration, "target": self.target}
+
+
+@dataclass
 class Partition(FaultAction):
     """Cut the fabric between two hosts, both directions."""
 

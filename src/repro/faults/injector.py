@@ -20,9 +20,16 @@ from repro.faults.schedule import FaultSchedule, TimedFault
 
 
 class FaultInjector:
-    """Applies a fault schedule to one :class:`RTPBService` deployment."""
+    """Applies a fault schedule to one deployment.
 
-    def __init__(self, service: RTPBService,
+    ``service`` is duck-typed: any facade exposing ``sim``, ``fabric`` and
+    a ``servers`` mapping works — :class:`RTPBService`, the multi-backup
+    service, or a sharded :class:`~repro.cluster.service.ClusterService`
+    (which additionally understands group-scoped targets like
+    ``"g00/primary"`` via ``resolve_fault_target``).
+    """
+
+    def __init__(self, service: "RTPBService | Any",
                  schedule: Optional[FaultSchedule] = None) -> None:
         self.service = service
         self.sim = service.sim
@@ -66,15 +73,24 @@ class FaultInjector:
 
         ``"primary"``/``"backup"`` select whoever holds the role *now* (and
         is alive); an int is a fabric address; any other string is a host
-        name.  Role selectors returning None (e.g. "backup" while the spare
-        is still being recruited) make the fault a deterministic no-op.
+        or server name.  Deployments exposing ``resolve_fault_target``
+        (the cluster facade, for ``"g00/primary"``-style group-scoped
+        targets) are consulted first.  Role selectors returning None (e.g.
+        "backup" while the spare is still being recruited) make the fault
+        a deterministic no-op.
         """
+        resolver = getattr(self.service, "resolve_fault_target", None)
+        if resolver is not None:
+            server = resolver(target)
+            if server is not None:
+                return server
         if target == "primary":
             return self._live_with_role(Role.PRIMARY)
         if target == "backup":
             return self._live_with_role(Role.BACKUP)
         for server in self.service.servers.values():
-            if server.host.address == target or server.host.name == target:
+            if (server.host.address == target or server.host.name == target
+                    or getattr(server, "name", None) == target):
                 return server
         return None
 

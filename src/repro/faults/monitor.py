@@ -38,6 +38,11 @@ SPLIT_BRAIN = "split_brain"
 MISSED_FAILOVER = "missed_failover"
 
 
+def _server_name(server: Any) -> str:
+    """A server's trace identity (``name`` attribute, host name fallback)."""
+    return getattr(server, "name", None) or server.host.name
+
+
 @dataclass(frozen=True)
 class InvariantViolation:
     """One invariant violation, stamped with its detection time."""
@@ -51,9 +56,16 @@ class InvariantViolation:
 
 
 class InvariantMonitor:
-    """Watches one deployment's trace for invariant violations, online."""
+    """Watches one deployment's trace for invariant violations, online.
 
-    def __init__(self, service: RTPBService,
+    ``service`` is duck-typed: anything exposing the :class:`RTPBService`
+    introspection surface works — including one *group view* of a sharded
+    cluster, in which case member-scoping (below) confines every check to
+    that group's servers and the shared trace stream is demultiplexed by
+    membership.
+    """
+
+    def __init__(self, service: "RTPBService | Any",
                  grace: Optional[float] = None,
                  failover_margin: float = 0.1,
                  on_violation: Optional[Callable[[InvariantViolation],
@@ -117,12 +129,16 @@ class InvariantMonitor:
         elif category == "server_crash":
             self._on_server_crash(record)
         elif category == "failover":
+            if not self._is_member(record.get("new_primary")):
+                return
             self._last_failover_at = record.time
             # The old primary's unreplicated writes died with it; window
             # accounting restarts against the new primary's stream.
             self._reset_window_state()
             self._schedule_split_check()
         elif category in ("recruited", "reattached"):
+            if not self._is_member(record.get("server")):
+                return
             # Recruitment re-baselines the backup via the state-transfer
             # snapshot; writes pending from the backup-less interval are
             # covered by it, so window accounting restarts here (otherwise
@@ -131,7 +147,19 @@ class InvariantMonitor:
             self._reset_window_state()
             self._schedule_split_check()
         elif category == "server_recover":
-            self._schedule_split_check()
+            if self._is_member(record.get("server")):
+                self._schedule_split_check()
+        elif category == "cluster_place":
+            # This group was (re-)placed onto fresh hosts: new windows may
+            # have registered, the snapshot transfer re-baselines pending
+            # writes, and the membership just changed under the split check.
+            if record.get("group") == getattr(self.service, "service_name",
+                                              None):
+                self._windows.update(
+                    {spec.object_id: spec.window
+                     for spec in self.service.registered_specs()})
+                self._reset_window_state()
+                self._schedule_split_check()
 
     # -- temporal window ---------------------------------------------------
 
@@ -205,10 +233,17 @@ class InvariantMonitor:
         self._split_check_pending = True
         self.sim.schedule(0.0, self._check_split_brain)
 
+    def _is_member(self, server_name: Any) -> bool:
+        """Whether a trace record's server identity belongs to this
+        deployment (always true for single-group services; the demux
+        predicate for cluster group views sharing one trace stream)."""
+        return any(_server_name(server) == server_name
+                   for server in self.service.servers.values())
+
     def _check_split_brain(self) -> None:
         self._split_check_pending = False
         primaries = frozenset(
-            server.host.name for server in self.service.servers.values()
+            _server_name(server) for server in self.service.servers.values()
             if server.alive and server.role is Role.PRIMARY)
         if len(primaries) >= 2 and primaries != self._flagged_primaries:
             self._flagged_primaries = primaries
@@ -219,6 +254,8 @@ class InvariantMonitor:
     # -- failover deadline -------------------------------------------------
 
     def _on_server_crash(self, record: TraceRecord) -> None:
+        if not self._is_member(record.get("server")):
+            return
         self._schedule_split_check()
         if record.get("role") != Role.PRIMARY.value:
             return
@@ -235,14 +272,14 @@ class InvariantMonitor:
         deadline = (self.service.config.failure_detection_latency()
                     + self.failover_margin)
         self.sim.schedule(deadline, self._check_failover, record.time,
-                          backup.host.name)
+                          _server_name(backup))
 
     def _was_authoritative(self, server_name: Any) -> bool:
         """Whether the named server is the one the name file points at."""
-        if not self.service.name_service.knows(self.service.service_name):
+        published = self.service.name_service.peek(self.service.service_name)
+        if published is None:
             return False
-        published = self.service.name_service.lookup(self.service.service_name)
-        return any(server.host.name == server_name
+        return any(_server_name(server) == server_name
                    and server.host.address == published
                    for server in self.service.servers.values())
 
@@ -251,7 +288,7 @@ class InvariantMonitor:
                 and self._last_failover_at >= crash_time):
             return
         backup = next((server for server in self.service.servers.values()
-                       if server.host.name == backup_name), None)
+                       if _server_name(server) == backup_name), None)
         if backup is None or not backup.alive:
             return  # the would-be successor died too; nobody could promote
         self._emit(MISSED_FAILOVER, crash_time=crash_time,

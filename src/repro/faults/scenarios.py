@@ -12,7 +12,7 @@ function of ``(name, seed)``; ``python -m repro.faults`` runs it as a matrix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Tuple
 
 from repro.core.service import BACKUP_ADDRESS, PRIMARY_ADDRESS
 from repro.faults.monitor import SPLIT_BRAIN, TEMPORAL_WINDOW
@@ -21,6 +21,9 @@ from repro.net.link import GilbertElliottLoss
 from repro.units import ms
 from repro.workload.scenarios import Scenario
 
+if TYPE_CHECKING:
+    from repro.workload.cluster import ClusterScenario
+
 
 @dataclass
 class ChaosScenario:
@@ -28,7 +31,7 @@ class ChaosScenario:
 
     name: str
     description: str
-    workload: Scenario
+    workload: "Scenario | ClusterScenario"
     schedule: FaultSchedule
     #: Violation kinds this fault pattern is designed to provoke; kinds the
     #: monitor flags beyond these deserve attention.
@@ -166,6 +169,40 @@ def degraded_network(seed: int = 0) -> ChaosScenario:
     )
 
 
+def cluster_group_outage(seed: int = 0) -> ChaosScenario:
+    """Sharded cluster under compound faults, one blast radius at a time.
+
+    A 4-shard/4-host cluster takes three hits: at t=3 one group's primary
+    fail-stops (per-group failover promotes its backup, the manager sweep
+    recruits a spare); at t=6 the host of another group's backup is cut
+    off the fabric for 5 seconds (the isolated backup cannot hear pings,
+    declares its primary dead, and self-promotes — split brain in that
+    group); at t=14 the deposed primary left behind by that split is
+    crashed, collapsing the group back to a single authority.
+
+    Hosts are shared, so the isolation also severs co-located replicas of
+    *other* groups — their backups miss updates past δ_i (temporal-window
+    violations) and may promote too.  The per-group monitors keep each
+    finding attributed to the shard it happened in.
+    """
+    from repro.workload.cluster import ClusterScenario
+
+    workload = ClusterScenario(n_shards=4, n_hosts=4, n_objects=8,
+                               horizon=20.0, seed=seed)
+    schedule = (FaultSchedule()
+                .crash(3.0, "g00/primary")
+                .isolate(6.0, 5.0, "g01/backup")
+                .crash(14.0, "g01/deposed"))
+    return ChaosScenario(
+        name="cluster_group_outage",
+        description="sharded cluster: one primary crash plus a host "
+                    "isolation splitting a second group",
+        workload=workload,
+        schedule=schedule,
+        expected_violations=(TEMPORAL_WINDOW, SPLIT_BRAIN),
+    )
+
+
 #: The catalogue: name -> factory(seed).
 SCENARIOS: Dict[str, Callable[[int], ChaosScenario]] = {
     factory.__name__: factory
@@ -175,6 +212,7 @@ SCENARIOS: Dict[str, Callable[[int], ChaosScenario]] = {
         backup_flapping,
         crash_plus_partition,
         degraded_network,
+        cluster_group_outage,
     )
 }
 

@@ -31,6 +31,8 @@ from repro.faults.actions import (
     FaultAction,
     Heal,
     HealAll,
+    IsolateHost,
+    KillHost,
     LossBurst,
     Partition,
     PartitionAll,
@@ -79,6 +81,15 @@ class FaultSchedule:
         if outage <= 0:
             raise ProtocolError(f"outage must be > 0: {outage}")
         return self.crash(time, target).recover(time + outage, target)
+
+    def kill_host(self, time: float, target: Target) -> "FaultSchedule":
+        """Take the whole machine hosting ``target`` down (cluster-aware)."""
+        return self.at(time, KillHost(target))
+
+    def isolate(self, time: float, duration: float,
+                target: Target) -> "FaultSchedule":
+        """Cut ``target``'s host off from the rest of the fabric."""
+        return self.at(time, IsolateHost(duration, target))
 
     def partition(self, time: float, a: Target, b: Target) -> "FaultSchedule":
         return self.at(time, Partition(a, b))

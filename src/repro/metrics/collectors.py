@@ -2,7 +2,11 @@
 
 All collectors are pure functions of a finished
 :class:`~repro.core.service.RTPBService` (its trace and object stores); they
-never mutate the simulation.  Times in the returned values are in the
+never mutate the simulation.  ``service`` is duck-typed — any deployment
+view exposing the same introspection surface works, including one *group*
+of a sharded cluster; the trace-counting collectors take an optional
+``objects`` filter so a group view sharing a cluster-wide trace counts only
+its own shard's records.  Times in the returned values are in the
 simulator's native seconds — convert with :func:`repro.units.to_ms` for
 paper-style tables.
 """
@@ -15,6 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.consistency.checker import ExternalConsistencyChecker, Violation
 from repro.core.service import RTPBService
+from repro.errors import ReplicationError
 
 
 @dataclass(frozen=True)
@@ -59,22 +64,35 @@ def _percentile(ordered: Sequence[float], fraction: float) -> float:
 
 
 def response_times(service: RTPBService,
-                   start: float = 0.0) -> List[float]:
-    """All client-write response times observed after ``start``."""
+                   start: float = 0.0,
+                   objects: Optional[Iterable[int]] = None) -> List[float]:
+    """All client-write response times observed after ``start``.
+
+    ``objects`` restricts the count to those object ids (a cluster group
+    view filtering the shared trace); None keeps every record.
+    """
+    ids = None if objects is None else set(objects)
     return [record["response"]
             for record in service.trace.select("client_response")
-            if record["issue"] >= start]
+            if record["issue"] >= start
+            and (ids is None or record["object"] in ids)]
 
 
 def response_time_stats(service: RTPBService,
-                        start: float = 0.0) -> SummaryStats:
-    return summarize(response_times(service, start))
+                        start: float = 0.0,
+                        objects: Optional[Iterable[int]] = None
+                        ) -> SummaryStats:
+    return summarize(response_times(service, start, objects=objects))
 
 
-def unanswered_writes(service: RTPBService) -> int:
+def unanswered_writes(service: RTPBService,
+                      objects: Optional[Iterable[int]] = None) -> int:
     """Writes issued whose RPC never completed (overload starvation)."""
+    ids = None if objects is None else set(objects)
     issued = sum(client.writes_issued for client in service.clients)
-    answered = len(service.trace.select("client_response"))
+    answered = sum(
+        1 for record in service.trace.select("client_response")
+        if ids is None or record["object"] in ids)
     return max(0, issued - answered)
 
 
@@ -143,12 +161,24 @@ def distance_timeline(service: RTPBService, object_id: int,
 
 
 def _propagation_allowance(service: RTPBService, object_id: int) -> float:
-    """The provisioned primary→backup lag: update period + delay bound ℓ."""
-    primary = service.current_primary()
-    record = primary.store.get(object_id)
-    period = record.update_period
+    """The provisioned primary→backup lag: update period + delay bound ℓ.
+
+    Falls back to the spec's configured update period when the deployment
+    has no live primary (a cluster group whose hosts all died) — the
+    distance episodes already on the trace still deserve an allowance.
+    """
+    try:
+        primary = service.current_primary()
+        record = primary.store.get(object_id)
+        period = record.update_period
+    except ReplicationError:
+        period = None
     if period is None:
-        period = service.config.update_period(record.spec)
+        spec = next((candidate for candidate in service.registered_specs()
+                     if candidate.object_id == object_id), None)
+        if spec is None:
+            return service.config.ell
+        period = service.config.update_period(spec)
     return period + service.config.ell
 
 
@@ -306,7 +336,8 @@ def failover_latency(service: RTPBService) -> Optional[float]:
     return latencies[0] if latencies else None
 
 
-def update_delivery_rate(service: RTPBService) -> float:
+def update_delivery_rate(service: RTPBService,
+                         objects: Optional[Iterable[int]] = None) -> float:
     """Ratio of backup arrivals to transmitted updates.
 
     Arrivals include stale-rejected duplicates: the slack-factor-2 schedule
@@ -316,13 +347,14 @@ def update_delivery_rate(service: RTPBService) -> float:
     the very pathology the chaos reports exist to surface (see
     :func:`duplicate_deliveries`).
     """
-    sent = len(service.trace.select("update_sent"))
+    sent = _sent_count(service, objects)
     if sent == 0:
         return 1.0
-    return _update_arrivals(service) / sent
+    return _update_arrivals(service, objects) / sent
 
 
-def duplicate_deliveries(service: RTPBService) -> int:
+def duplicate_deliveries(service: RTPBService,
+                         objects: Optional[Iterable[int]] = None) -> int:
     """Lower bound on network-duplicated update deliveries.
 
     Computed as ``max(0, arrivals - sent)``: every arrival beyond the send
@@ -330,10 +362,21 @@ def duplicate_deliveries(service: RTPBService) -> int:
     duplication occur together, each lost original cancels one duplicated
     copy in the arithmetic.
     """
-    sent = len(service.trace.select("update_sent"))
-    return max(0, _update_arrivals(service) - sent)
+    return max(0, _update_arrivals(service, objects)
+               - _sent_count(service, objects))
 
 
-def _update_arrivals(service: RTPBService) -> int:
-    return (len(service.trace.select("backup_apply"))
-            + len(service.trace.select("backup_apply_stale")))
+def _sent_count(service: RTPBService,
+                objects: Optional[Iterable[int]] = None) -> int:
+    ids = None if objects is None else set(objects)
+    return sum(1 for record in service.trace.select("update_sent")
+               if ids is None or record["object"] in ids)
+
+
+def _update_arrivals(service: RTPBService,
+                     objects: Optional[Iterable[int]] = None) -> int:
+    ids = None if objects is None else set(objects)
+    return sum(
+        1 for record in (service.trace.select("backup_apply")
+                         + service.trace.select("backup_apply_stale"))
+        if ids is None or record["object"] in ids)

@@ -25,7 +25,7 @@ Trace categories: ``link_send``, ``link_drop``, ``link_deliver``,
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import NoRouteError, ProtocolError
 from repro.sim.engine import Simulator
@@ -197,6 +197,21 @@ class NetworkFabric:
 
     def is_partitioned(self, a: int, b: int) -> bool:
         return (min(a, b), max(a, b)) in self._partitions
+
+    def attached_addresses(self) -> List[int]:
+        """Every attached fabric address, sorted (deterministic iteration)."""
+        return sorted(self._ports)
+
+    def set_isolated(self, address: int, isolated: bool) -> None:
+        """Cut one address off from (or rejoin it to) every other host.
+
+        Healing removes *every* partition pair involving ``address`` — if a
+        concurrent fault partitioned one of those pairs independently, the
+        heal releases it too (documented fault-composition limitation).
+        """
+        for other in self.attached_addresses():
+            if other != address:
+                self.set_partition(address, other, isolated)
 
     def set_duplication(self, probability: float) -> None:
         """Deliver each non-dropped message twice with this probability."""

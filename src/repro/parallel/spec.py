@@ -28,6 +28,7 @@ if TYPE_CHECKING:
     # a module-level import here would close that cycle.
     from repro.experiments.harness import RunMetrics, RunResult
     from repro.faults.schedule import FaultSchedule
+    from repro.workload.cluster import ClusterScenario
 
 #: Injectable worker stopwatch — a *reference* to ``time.perf_counter``,
 #: so the wall clock never leaks into model code (DET001-clean).
@@ -36,9 +37,14 @@ _STOPWATCH = time.perf_counter
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One simulation run, phrased as a picklable value."""
+    """One simulation run, phrased as a picklable value.
 
-    scenario: Scenario
+    ``scenario`` may be the single-pair :class:`Scenario` or a sharded
+    :class:`~repro.workload.cluster.ClusterScenario`; the worker-side
+    harness dispatches on the type.
+    """
+
+    scenario: "Scenario | ClusterScenario"
     #: Seconds excluded from every metric at the head of the run.
     warmup: float = 2.0
     #: Attach the online invariant monitor (chaos runs).
@@ -55,7 +61,7 @@ class RunSpec:
 class RunOutcome:
     """The picklable rendering of one finished run."""
 
-    scenario: Scenario
+    scenario: "Scenario | ClusterScenario"
     metrics: RunMetrics
     events_executed: int
     #: ``None`` when the queue build does not track the high-water mark.

@@ -31,6 +31,7 @@ DEADLINE_MISS = "deadline_miss"
 
 # -- name service ----------------------------------------------------------
 NAME_UPDATE = "name_update"
+NAME_UNPUBLISH = "name_unpublish"
 
 # -- client application ----------------------------------------------------
 CLIENT_ACTIVATED = "client_activated"
@@ -69,6 +70,11 @@ REATTACHED = "reattached"
 # -- fault injection / invariant monitoring --------------------------------
 FAULT_INJECTED = "fault_injected"
 INVARIANT_VIOLATION = "invariant_violation"
+
+# -- sharded cluster (repro.cluster) ---------------------------------------
+CLUSTER_PLACE = "cluster_place"
+CLUSTER_REJECT = "cluster_reject"
+CLUSTER_HOST_DOWN = "cluster_host_down"
 
 #: Every category any library component may record.
 ALL_CATEGORIES = frozenset(

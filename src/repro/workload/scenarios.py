@@ -18,6 +18,24 @@ from repro.units import ms
 from repro.workload.generator import homogeneous_specs
 
 
+def ping_misses_for_loss(loss_probability: float) -> int:
+    """Miss threshold keeping heartbeat false positives negligible.
+
+    A ping round fails when the ping *or* its ack is lost:
+    ``q = 1 - (1-p)^2``.  The peer is declared dead after ``m``
+    consecutive failures, so we pick ``m`` with ``q^m <= 1e-8`` — the
+    paper's environment implicitly assumes the detector does not
+    false-trigger during the loss sweeps.
+    """
+    import math
+
+    if loss_probability <= 0:
+        return 3
+    round_failure = 1.0 - (1.0 - loss_probability) ** 2
+    misses = math.ceil(math.log(1e-8) / math.log(round_failure))
+    return max(4, int(misses))
+
+
 @dataclass(frozen=True, slots=True)
 class Scenario:
     """Parameters for one experimental run.
@@ -65,21 +83,7 @@ class Scenario:
         )
 
     def _ping_misses_for_loss(self) -> int:
-        """Miss threshold keeping heartbeat false positives negligible.
-
-        A ping round fails when the ping *or* its ack is lost:
-        ``q = 1 - (1-p)^2``.  The peer is declared dead after ``m``
-        consecutive failures, so we pick ``m`` with ``q^m <= 1e-8`` — the
-        paper's environment implicitly assumes the detector does not
-        false-trigger during the loss sweeps.
-        """
-        import math
-
-        if self.loss_probability <= 0:
-            return 3
-        round_failure = 1.0 - (1.0 - self.loss_probability) ** 2
-        misses = math.ceil(math.log(1e-8) / math.log(round_failure))
-        return max(4, int(misses))
+        return ping_misses_for_loss(self.loss_probability)
 
 
 def build_scenario(scenario: Scenario) -> RTPBService:

@@ -1,0 +1,111 @@
+"""Unit tests for admission-budgeted group placement."""
+
+from repro.cluster.placement import HostSlot, PlacementEngine, PlacementRejection
+from repro.cluster.shardmap import ShardMap
+from repro.core.admission import AdmissionController
+from repro.core.server import build_processor
+from repro.core.spec import ServiceConfig
+from repro.net.ip import Host
+from repro.net.link import NetworkFabric
+from repro.sim.engine import Simulator
+from repro.units import ms
+from repro.workload.generator import homogeneous_specs
+
+#: A group light enough that several fit on one host.
+LIGHT = homogeneous_specs(4, window=ms(200), client_period=ms(100))
+#: A group heavy enough that one host admits at most one of them.
+HEAVY = homogeneous_specs(8, window=ms(25), client_period=ms(100))
+
+
+def _engine(n_hosts=3) -> PlacementEngine:
+    sim = Simulator()
+    config = ServiceConfig()
+    fabric = NetworkFabric(sim, delay_bound=config.ell)
+    slots = {}
+    for address in range(1, n_hosts + 1):
+        host = Host(sim, fabric, f"host{address}", address)
+        slots[address] = HostSlot(
+            host=host,
+            processor=build_processor(sim, config,
+                                      name=f"host{address}.cpu"),
+            admission=AdmissionController(config))
+    return PlacementEngine(slots, ShardMap(8), config)
+
+
+def test_place_group_lands_on_distinct_charged_hosts():
+    engine = _engine()
+    placed = engine.place_group(0, LIGHT, n_backups=1, now=0.0)
+    assert not isinstance(placed, PlacementRejection)
+    assert placed.primary != placed.backups[0]
+    for address in placed.addresses:
+        slot = engine.slots[address]
+        assert slot.charges[0] == [spec.object_id for spec in LIGHT]
+        assert slot.admission.planned_utilization() > 0.0
+
+
+def test_try_admit_is_atomic_on_failure():
+    engine = _engine(n_hosts=1)
+    slot = engine.slots[1]
+    assert engine.try_admit(slot, 0, HEAVY).accepted
+    before = slot.admission.planned_utilization()
+    decision = engine.try_admit(slot, 1, HEAVY)
+    assert not decision.accepted
+    assert decision.reason
+    # The partial charge was rolled back: budget and charges untouched.
+    assert slot.admission.planned_utilization() == before
+    assert slot.hosted_groups() == [0]
+
+
+def test_release_refunds_the_budget():
+    engine = _engine(n_hosts=1)
+    slot = engine.slots[1]
+    assert engine.try_admit(slot, 0, HEAVY).accepted
+    assert not engine.try_admit(slot, 1, HEAVY).accepted
+    engine.release(0)
+    assert slot.admission.planned_utilization() == 0.0
+    assert slot.hosted_groups() == []
+    # The refunded capacity is usable again.
+    assert engine.try_admit(slot, 1, HEAVY).accepted
+
+
+def test_place_group_rolls_back_on_rejection():
+    # Two hosts, each able to hold one heavy group: the first group takes
+    # both (primary + backup); the second cannot place anywhere, and any
+    # charge it made along the way must be rolled back with it.
+    engine = _engine(n_hosts=2)
+    first = engine.place_group(0, HEAVY, n_backups=1, now=0.0)
+    assert not isinstance(first, PlacementRejection)
+    utilization = engine.utilization()
+    second = engine.place_group(1, HEAVY, n_backups=1, now=1.0)
+    assert isinstance(second, PlacementRejection)
+    assert second.gid == 1
+    assert second.time == 1.0
+    assert second.reason
+    assert engine.utilization() == utilization
+    for slot in engine.slots.values():
+        assert slot.hosted_groups() == [0]
+
+
+def test_place_replica_honours_exclusions():
+    engine = _engine(n_hosts=3)
+    placed = engine.place_replica(0, LIGHT, "spare", now=0.0, exclude=[1, 2])
+    assert placed == 3
+
+
+def test_dead_hosts_are_not_candidates():
+    engine = _engine(n_hosts=3)
+    engine.slots[2].alive = False
+    assert engine.live_addresses() == [1, 3]
+    placed = engine.place_group(0, LIGHT, n_backups=1, now=0.0)
+    assert not isinstance(placed, PlacementRejection)
+    assert 2 not in placed.addresses
+
+
+def test_no_live_host_rejection():
+    engine = _engine(n_hosts=2)
+    for slot in engine.slots.values():
+        slot.alive = False
+    placed = engine.place_group(0, LIGHT, n_backups=1, now=0.0)
+    assert isinstance(placed, PlacementRejection)
+    assert placed.reason == "no-live-host"
+    assert "reason" in placed.to_dict()

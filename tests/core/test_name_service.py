@@ -35,3 +35,39 @@ def test_change_history_is_timestamped():
     sim.schedule(5.0, service.publish, "rtpb", 2)
     sim.run(until=10.0)
     assert service.changes == [(0.0, "rtpb", 1), (5.0, "rtpb", 2)]
+
+
+def test_unpublish_removes_the_entry_and_is_idempotent():
+    from repro.core.name_service import UNPUBLISHED
+
+    service = NameService(Simulator())
+    service.publish("rtpb", 1)
+    service.unpublish("rtpb")
+    assert not service.knows("rtpb")
+    with pytest.raises(NoRouteError):
+        service.lookup("rtpb")
+    # Idempotent: a second unpublish (or one for an unknown name) records
+    # nothing further.
+    service.unpublish("rtpb")
+    service.unpublish("ghost")
+    assert service.changes == [(0.0, "rtpb", 1), (0.0, "rtpb", UNPUBLISHED)]
+
+
+def test_liveness_probe_guards_lookup_but_not_peek():
+    # Regression for the stale-entry guard: with a probe installed, a dead
+    # entry raises on lookup while peek still shows the raw name file.
+    service = NameService(Simulator())
+    service.publish("rtpb", 1)
+    alive = {"rtpb": True}
+    service.set_liveness_probe(lambda name, address: alive.get(name, True))
+    assert service.lookup("rtpb") == 1
+    alive["rtpb"] = False
+    with pytest.raises(NoRouteError, match="stale"):
+        service.lookup("rtpb")
+    assert service.peek("rtpb") == 1
+    # Names the probe does not govern keep resolving.
+    service.publish("other", 2)
+    assert service.lookup("other") == 2
+    # Removing the probe restores the paper's trust-the-file behaviour.
+    service.set_liveness_probe(None)
+    assert service.lookup("rtpb") == 1

@@ -26,6 +26,15 @@ def test_requires_at_least_one_backup():
         MultiBackupService(n_backups=0)
 
 
+def test_error_name_typo_alias_is_kept():
+    # The class was renamed MultiBackupserverError -> MultiBackupServerError;
+    # the old misspelling must keep working as a deprecated alias.
+    from repro.extensions.multibackup import MultiBackupServerError
+
+    assert MultiBackupserverError is MultiBackupServerError
+    assert issubclass(MultiBackupServerError, ReplicationError)
+
+
 def test_all_backups_receive_registrations_and_updates():
     service, specs = make_service(n_backups=3)
     service.run(5.0)

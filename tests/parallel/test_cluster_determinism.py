@@ -1,0 +1,72 @@
+"""Cluster sweeps through repro.parallel: serial equals parallel.
+
+The cluster's determinism story must survive the process boundary:
+``ClusterScenario`` (and a fault schedule riding with it) pickles into a
+worker, and the per-seed trace digests are byte-identical for any
+``jobs`` value.  Scenarios are tiny — the property under test is
+equality, not performance.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.faults.schedule import FaultSchedule
+from repro.parallel import RunSpec, derive_seed, process_support, run_specs
+from repro.workload.cluster import ClusterScenario
+
+pytestmark = pytest.mark.skipif(not process_support(),
+                                reason="no process support")
+
+
+def _cluster_specs():
+    return [
+        RunSpec(
+            scenario=ClusterScenario(
+                n_shards=n_shards, n_hosts=4, n_objects=8, horizon=5.0,
+                seed=derive_seed(0, "cluster", n_shards)),
+            key=("cluster", n_shards))
+        for n_shards in (2, 4)
+    ]
+
+
+def _strip_wall(outcome):
+    return dataclasses.replace(outcome, wall_s=0.0)
+
+
+def test_cluster_spec_pickle_round_trips():
+    spec = _cluster_specs()[0]
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone.scenario == spec.scenario
+    assert clone.key == spec.key
+
+
+def test_cluster_run_specs_identical_across_worker_counts():
+    serial = run_specs(_cluster_specs(), jobs=1)
+    parallel = run_specs(_cluster_specs(), jobs=4)
+    assert [_strip_wall(outcome) for outcome in serial] == \
+        [_strip_wall(outcome) for outcome in parallel]
+    for left, right in zip(serial, parallel):
+        assert left.trace_digest == right.trace_digest
+        assert left.events_executed == right.events_executed
+        assert left.network == right.network
+
+
+def test_cluster_faults_and_monitor_cross_the_process_boundary():
+    schedule = FaultSchedule().crash(2.0, "g00/primary")
+    specs = [
+        RunSpec(
+            scenario=ClusterScenario(
+                n_shards=2, n_hosts=3, n_objects=4, horizon=5.0,
+                seed=derive_seed(0, "cluster-chaos", index)),
+            fault_schedule=schedule, monitor=True,
+            key=("cluster-chaos", index))
+        for index in range(2)
+    ]
+    serial = run_specs(specs, jobs=1)
+    parallel = run_specs(specs, jobs=2)
+    assert [_strip_wall(outcome) for outcome in serial] == \
+        [_strip_wall(outcome) for outcome in parallel]
+    for outcome in serial:
+        assert outcome.violation_counts is not None
