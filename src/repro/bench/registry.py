@@ -416,6 +416,84 @@ def cluster_failover(quick: bool) -> BenchStats:
     )
 
 
+@register("replica_read_steady")
+def replica_read_steady(quick: bool) -> BenchStats:
+    """Read-heavy single service fronted by window-consistent replicas.
+
+    Two read replicas subscribe to the primary's update stream and a
+    closed-loop reader population issues one read per object per period;
+    the digest covers the piggybacked replication traffic, the beacon
+    loops and the served-read trace interleaved.  SLO accounting rides in
+    ``extra`` — a steady-state run must deliver zero staleness-SLO
+    violations.
+    """
+    from repro.experiments.harness import run_scenario
+    from repro.workload.scenarios import Scenario
+
+    scenario = Scenario(
+        n_objects=8, window=ms(200.0), client_period=ms(100.0),
+        horizon=6.0 if quick else 15.0, seed=4,
+        n_replicas=2, read_period=ms(2.0) if quick else ms(1.0))
+    result = run_scenario(scenario)
+    sim = result.service.sim
+    metrics = result.metrics
+    return BenchStats(
+        events_executed=sim.events_executed,
+        peak_live_events=_peak_live(sim),
+        trace_records=len(result.service.trace),
+        digest=result.service.trace.digest(),
+        extra={"reads_served": metrics.read_staleness.count,
+               "read_throughput": round(metrics.read_throughput, 3),
+               "slo_violations": metrics.slo_violations,
+               "fallback_rate": round(metrics.fallback_rate, 6)},
+    )
+
+
+@register("replica_read_failover")
+def replica_read_failover(quick: bool) -> BenchStats:
+    """Read-heavy cluster losing replicas two ways, under the monitor.
+
+    One group's replica fail-stops (the manager sweep recruits a fresh
+    seat); another's host is isolated, so its replica stays alive but
+    refuses reads once provably stale — both failure modes must drive
+    primary fallback while the ``replica_staleness`` invariant stays
+    silent.  Exercises replica placement, subscription recovery and the
+    router's fallback path on a shared trace.
+    """
+    from repro.cluster.harness import run_cluster_scenario
+    from repro.cluster.service import ClusterService
+    from repro.faults.monitor import REPLICA_STALENESS
+    from repro.faults.schedule import FaultSchedule
+    from repro.workload.cluster import ClusterScenario
+
+    scenario = ClusterScenario(
+        n_shards=2, n_hosts=5, n_objects=8,
+        horizon=12.0 if quick else 20.0, seed=4,
+        replicas_per_group=1,
+        read_period=ms(20.0) if quick else ms(10.0))
+    schedule = (FaultSchedule()
+                .crash(3.0, "g00/replica0")
+                .isolate(5.0, 4.0, "g01/replica0"))
+    result = run_cluster_scenario(scenario, fault_schedule=schedule,
+                                  monitor=True)
+    service = result.service
+    assert isinstance(service, ClusterService)
+    assert result.monitor is not None
+    recruited = sum(1 for record in service.trace.select("cluster_place")
+                    if record["event"] == "replica")
+    return BenchStats(
+        events_executed=service.sim.events_executed,
+        peak_live_events=_peak_live(service.sim),
+        trace_records=len(service.trace),
+        digest=service.trace.digest(),
+        extra={"fallbacks": len(service.trace.select("read_fallback")),
+               "replicas_recruited": recruited,
+               "staleness_violations":
+                   result.monitor.violation_counts().get(REPLICA_STALENESS,
+                                                         0)},
+    )
+
+
 @register("failover_latency")
 def failover_latency_bench(quick: bool) -> BenchStats:
     """Crash-to-takeover sweep across heartbeat periods (Section 4.4)."""

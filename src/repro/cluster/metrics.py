@@ -23,6 +23,10 @@ from repro.experiments.harness import RunMetrics
 from repro.metrics.collectors import (
     average_inconsistency_duration,
     average_max_distance,
+    primary_fallback_rate,
+    read_slo_violations,
+    read_staleness_stats,
+    read_throughput,
     response_time_stats,
     unanswered_writes,
     update_delivery_rate,
@@ -55,6 +59,11 @@ def collect_group(group: "ReplicationGroup", horizon: float,
         avg_inconsistency=average_inconsistency_duration(view, horizon,
                                                          start=warmup),
         delivery_rate=update_delivery_rate(view, objects=ids),
+        read_throughput=read_throughput(view, horizon, start=warmup,
+                                        objects=ids),
+        read_staleness=read_staleness_stats(view, start=warmup, objects=ids),
+        slo_violations=read_slo_violations(view, objects=ids),
+        fallback_rate=primary_fallback_rate(view, start=warmup, objects=ids),
     )
 
 
@@ -70,6 +79,10 @@ def collect_cluster(cluster: "ClusterService", horizon: float,
         avg_inconsistency=average_inconsistency_duration(view, horizon,
                                                          start=warmup),
         delivery_rate=update_delivery_rate(view),
+        read_throughput=read_throughput(view, horizon, start=warmup),
+        read_staleness=read_staleness_stats(view, start=warmup),
+        slo_violations=read_slo_violations(view),
+        fallback_rate=primary_fallback_rate(view, start=warmup),
     )
     per_group = {group.name: collect_group(group, horizon, warmup)
                  for group in cluster.groups}

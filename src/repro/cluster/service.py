@@ -17,7 +17,12 @@ simulated hosts:
 - a periodic **manager sweep** (the rebalancer) replaces groups whose
   hosts all died (re-running admission on the surviving hosts, with
   rejection feedback when the cluster is over capacity) and recruits
-  spares for groups that lost one replica.
+  spares for groups that lost one replica;
+- optional **read replicas** (:mod:`repro.replicas`): each group gets
+  ``replicas_per_group`` window-consistent :class:`ReadReplica` seats on
+  hosts holding none of its other members, published as role-tagged
+  directory entries (``group#replicaK``), recruited back by the same
+  manager sweep when they die.
 
 Each group is itself a duck-typed deployment view
 (:class:`ReplicationGroup` exposes the :class:`RTPBService` introspection
@@ -35,12 +40,15 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.core.admission import AdmissionController
 from repro.core.client import SensorClient
 from repro.core.failure import CrashInjector
-from repro.core.name_service import NameService
+from repro.core.name_service import ROLE_SEPARATOR, NameService
 from repro.core.server import ReplicaServer, Role, build_processor
 from repro.core.spec import ObjectSpec, SchedulingMode, ServiceConfig
 from repro.errors import ClusterError, ReplicationError
 from repro.net.ip import Host
 from repro.net.link import LossModel, NetworkFabric
+from repro.replicas.reader import ReaderClient
+from repro.replicas.router import POLICIES, ReadRouter
+from repro.replicas.server import ReadReplica
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 from repro.workload.environment import EnvironmentModel
@@ -84,6 +92,15 @@ class ReplicationGroup:
         #: Completed placements (1 = initial, +1 per re-placement).
         self.placements = 0
         self._registered: List[ObjectSpec] = []
+        #: Live read replicas (creation order) and their retired forebears.
+        self.replicas: List[ReadReplica] = []
+        self.retired_replicas: List[ReadReplica] = []
+        self.reader: Optional[ReaderClient] = None
+        self.router: Optional[ReadRouter] = None
+        #: Monotonic role-name counter: each recruited replica gets a fresh
+        #: ``replicaK`` so directory entries never collide across repairs.
+        self.replica_seq = 0
+        self.replica_parked = False
 
     # -- RTPBService-compatible surface ---------------------------------
 
@@ -135,6 +152,16 @@ class ReplicationGroup:
     def live_members(self) -> List[ReplicaServer]:
         return [member for member in self.members if member.alive]
 
+    def live_replicas(self) -> List[ReadReplica]:
+        return [replica for replica in self.replicas if replica.alive]
+
+    def replica_at(self, address: int) -> Optional[ReadReplica]:
+        """This group's live read replica at a fabric address, if any."""
+        for replica in self.replicas:
+            if replica.alive and replica.host.address == address:
+                return replica
+        return None
+
     def server_at(self, address: int) -> Optional[ReplicaServer]:
         """The member at a fabric address (live members preferred)."""
         for member in self.members:
@@ -174,6 +201,9 @@ class ClusterService:
                  backups_per_group: int = 1,
                  rebalance_period: float = 0.5,
                  write_jitter: float = 0.0,
+                 replicas_per_group: int = 0,
+                 read_period: float = 0.0,
+                 read_policy: str = "round_robin",
                  service_name: str = "rtpb") -> None:
         self.config = config if config is not None else ServiceConfig()
         if self.config.scheduling_mode is SchedulingMode.COMPRESSED:
@@ -196,6 +226,15 @@ class ClusterService:
         if rebalance_period <= 0:
             raise ClusterError(
                 f"rebalance period must be > 0: {rebalance_period}")
+        if replicas_per_group < 0:
+            raise ClusterError(
+                f"replicas per group must be >= 0: {replicas_per_group}")
+        if read_period < 0:
+            raise ClusterError(f"read period must be >= 0: {read_period}")
+        if read_policy not in POLICIES:
+            raise ClusterError(
+                f"unknown read policy {read_policy!r}; "
+                f"choose one of {', '.join(POLICIES)}")
 
         self.service_name = service_name
         self.n_shards = n_shards
@@ -203,6 +242,9 @@ class ClusterService:
         self.backups_per_group = backups_per_group
         self.rebalance_period = rebalance_period
         self.write_jitter = write_jitter
+        self.replicas_per_group = replicas_per_group
+        self.read_period = read_period
+        self.read_policy = read_policy
 
         self.sim = Simulator(seed=seed)
         self.fabric = NetworkFabric(
@@ -276,6 +318,8 @@ class ClusterService:
         self._started = True
         for group in self.groups:
             self._place_group(group, event="initial")
+        for group in self.groups:
+            self._ensure_replicas(group)
         self.sim.schedule(self.rebalance_period, self._sweep)
 
     def run(self, horizon: float) -> None:
@@ -365,6 +409,19 @@ class ClusterService:
                 name=f"{group.name}.client", write_jitter=self.write_jitter)
             if self._started:
                 group.client.start()
+        if (group.reader is None and group._registered
+                and self.read_period > 0):
+            group.router = ReadRouter(
+                self.sim, self.name_service, group.name,
+                resolver=group.replica_at, config=self.config,
+                policy=self.read_policy, fabric=self.fabric)
+            group.reader = ReaderClient(
+                self.sim, self.name_service, group.name,
+                router=group.router, resolver=group.server_at,
+                specs=group._registered, read_period=self.read_period,
+                name=f"{group.name}.reader")
+            if self._started:
+                group.reader.start()
         for member in new_members:
             member.local_client = group.client
         for member in new_members:
@@ -403,9 +460,14 @@ class ClusterService:
             if not group.live_members():
                 self._retire_dead(group)
                 self.name_service.unpublish(group.name)
+                # A full group loss orphans its read replicas: their
+                # subscription lineage died with the incarnation, so retire
+                # them too and recruit fresh ones against the new primary.
+                self._retire_replicas(group, only_dead=False)
                 self._place_group(group, event="replace")
             elif self.backups_per_group == 1:
                 self._repair_pair(group)
+            self._ensure_replicas(group)
         self.sim.schedule(self.rebalance_period, self._sweep)
 
     def _repair_pair(self, group: ReplicationGroup) -> None:
@@ -460,6 +522,74 @@ class ClusterService:
         primary.notice_spare(placed)
 
     # ------------------------------------------------------------------
+    # Read-replica recruitment (repro.replicas at cluster scale)
+    # ------------------------------------------------------------------
+
+    def _ensure_replicas(self, group: ReplicationGroup) -> None:
+        """Bring a group's replica count back to target (sweep + startup).
+
+        Dead replicas are decommissioned and their admission charges
+        refunded first; a group without live members gets no replicas (a
+        replica needs a primary to subscribe to — recruitment resumes the
+        sweep after re-placement succeeds).
+        """
+        if self.replicas_per_group <= 0:
+            return
+        self._retire_replicas(group, only_dead=True)
+        if not group.live_members():
+            return
+        while len(group.replicas) < self.replicas_per_group:
+            if not self._spawn_read_replica(group):
+                break
+
+    def _retire_replicas(self, group: ReplicationGroup,
+                         only_dead: bool) -> None:
+        keep: List[ReadReplica] = []
+        for replica in group.replicas:
+            if only_dead and replica.alive:
+                keep.append(replica)
+                continue
+            replica.decommission()
+            self.placement.release(group.gid, replica.host.address)
+            group.retired_replicas.append(replica)
+        group.replicas = keep
+
+    def _spawn_read_replica(self, group: ReplicationGroup) -> bool:
+        """Place and start one read replica; False (+ feedback) on
+        rejection.  Replicas land on hosts holding none of the group's
+        other seats — a replica co-located with its primary would die with
+        it, defeating the read path's availability purpose — and charge
+        the host's admission budget like any other apply stream."""
+        exclude = ([member.host.address for member in group.members]
+                   + [replica.host.address for replica in group.replicas])
+        role = f"replica{group.replica_seq}"
+        placed = self.placement.place_replica(
+            group.gid, group.specs, role, self.sim.now, exclude=exclude)
+        if isinstance(placed, PlacementRejection):
+            if not group.replica_parked:
+                group.replica_parked = True
+                self.rejections.append(placed)
+                self.sim.trace.record(
+                    "cluster_reject", group=group.name, role=placed.role,
+                    reason=placed.reason)
+            return False
+        group.replica_parked = False
+        group.replica_seq += 1
+        slot = self.slots[placed]
+        replica = ReadReplica(
+            self.sim, slot.host, self.config, self.name_service,
+            service_name=group.name, role_name=role, port=group.port,
+            processor=slot.processor, owns_host=False,
+            name=f"{group.name}/{role}@{slot.host.name}")
+        group.replicas.append(replica)
+        replica.start()
+        self.sim.trace.record(
+            "cluster_place", group=group.name, event="replica",
+            primary=role, backups=slot.host.name,
+            objects=len(group._registered))
+        return True
+
+    # ------------------------------------------------------------------
     # Host-level failures
     # ------------------------------------------------------------------
 
@@ -483,6 +613,9 @@ class ClusterService:
             for member in group.members:
                 if member.host.address == address and member.alive:
                     member.crash()
+            for replica in group.replicas:
+                if replica.host.address == address and replica.alive:
+                    replica.crash()
 
     # ------------------------------------------------------------------
     # Directory liveness (the stale-entry guard)
@@ -490,7 +623,16 @@ class ClusterService:
 
     def _entry_alive(self, name: str, address: int) -> bool:
         """Name-file probe: is a live PRIMARY of ``name``'s group actually
-        at ``address``?  Foreign names (not a group of this cluster) pass."""
+        at ``address``?  Role-tagged entries (``group#replicaK``) probe the
+        named read replica instead.  Foreign names pass."""
+        if ROLE_SEPARATOR in name:
+            base, role = name.split(ROLE_SEPARATOR, 1)
+            group = self._groups_by_name.get(base)
+            if group is None:
+                return True
+            return any(replica.alive and replica.role_name == role
+                       and replica.host.address == address
+                       for replica in group.replicas)
         group = self._groups_by_name.get(name)
         if group is None:
             return True
@@ -542,12 +684,13 @@ class ClusterService:
         return None
 
     def resolve_fault_target(self, target: Union[int, str]
-                             ) -> Optional[ReplicaServer]:
+                             ) -> "ReplicaServer | ReadReplica | None":
         """Group-scoped fault targets: ``"g03/primary"``, ``"g03/backup"``,
         ``"g03/spare"``, ``"g03/deposed"`` (a live primary the name file no
-        longer points at — the split-brain loser).  Full group names work
-        too (``"rtpb/g03/primary"``).  Anything else returns None and falls
-        through to the injector's generic resolution.
+        longer points at — the split-brain loser), ``"g03/replicaK"`` (the
+        group's K-th live read replica, creation order).  Full group names
+        work too (``"rtpb/g03/primary"``).  Anything else returns None and
+        falls through to the injector's generic resolution.
         """
         if not isinstance(target, str) or "/" not in target:
             return None
@@ -576,6 +719,10 @@ class ClusterService:
                 (member for member in group.members
                  if member.alive and member.role is Role.PRIMARY
                  and member.host.address != published), None)
+        if selector.startswith("replica") and selector[7:].isdigit():
+            live = group.live_replicas()
+            index = int(selector[7:])
+            return live[index] if index < len(live) else None
         return None
 
     def _group_for_prefix(self, prefix: str) -> Optional[ReplicationGroup]:

@@ -17,6 +17,11 @@ from repro.sim.engine import Simulator
 #: Sentinel address recorded in :attr:`NameService.changes` for an unpublish.
 UNPUBLISHED = -1
 
+#: Separator between a service name and a role tag in composite entries
+#: (``"shard03#replica1"``) — the form role entries take in :attr:`changes`
+#: and in liveness-probe calls.
+ROLE_SEPARATOR = "#"
+
 
 class NameService:
     """Service name → current primary's fabric address."""
@@ -24,8 +29,14 @@ class NameService:
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._entries: Dict[str, int] = {}
+        #: Role-tagged side entries: service name → role → address.  The
+        #: primary entry in :attr:`_entries` stays authoritative for
+        #: failover; roles carry the *read* topology (which replicas serve
+        #: a shard) without ever competing for the primary slot.
+        self._roles: Dict[str, Dict[str, int]] = {}
         #: Full change history: (time, name, address); ``UNPUBLISHED`` (-1)
-        #: as the address marks a removal.
+        #: as the address marks a removal.  Role entries appear under their
+        #: composite ``name#role`` form.
         self.changes: List[Tuple[float, str, int]] = []
         self._liveness: Optional[Callable[[str, int], bool]] = None
 
@@ -76,6 +87,59 @@ class NameService:
             raise NoRouteError(
                 f"service {name!r} entry at address {address} is stale")
         return address
+
+    def publish_role(self, name: str, role: str, address: int) -> None:
+        """Register ``address`` as serving ``name`` in capacity ``role``.
+
+        Multiple roles may coexist under one service name (several read
+        replicas of one shard); each role holds exactly one address, and
+        republishing a role overwrites it.  Role entries never shadow the
+        primary entry — :meth:`lookup` ignores them entirely.
+        """
+        if ROLE_SEPARATOR in name or ROLE_SEPARATOR in role:
+            raise ValueError(
+                f"name/role may not contain {ROLE_SEPARATOR!r}: "
+                f"{name!r} / {role!r}")
+        self._roles.setdefault(name, {})[role] = address
+        composite = f"{name}{ROLE_SEPARATOR}{role}"
+        self.changes.append((self.sim.now, composite, address))
+        self.sim.trace.record("name_update", name=composite, address=address)
+
+    def unpublish_role(self, name: str, role: str) -> None:
+        """Remove the ``role`` entry under ``name`` (idempotent)."""
+        roles = self._roles.get(name)
+        if roles is None or roles.pop(role, None) is None:
+            return
+        if not roles:
+            del self._roles[name]
+        composite = f"{name}{ROLE_SEPARATOR}{role}"
+        self.changes.append((self.sim.now, composite, UNPUBLISHED))
+        self.sim.trace.record("name_unpublish", name=composite)
+
+    def lookup_roles(self, name: str,
+                     prefix: str = "") -> List[Tuple[str, int]]:
+        """Live ``(role, address)`` entries under ``name``, sorted by role.
+
+        With a liveness probe installed, each entry is checked under its
+        composite ``name#role`` form and stale ones are silently dropped —
+        an empty list (rather than an exception) is the "no replica
+        qualifies" signal, because role consumers always have the primary
+        entry to fall back on.  ``prefix`` filters by role name
+        (``"replica"`` selects the read replicas).
+        """
+        entries = []
+        for role, address in sorted(self._roles.get(name, {}).items()):
+            if not role.startswith(prefix):
+                continue
+            if self._liveness is not None and not self._liveness(
+                    f"{name}{ROLE_SEPARATOR}{role}", address):
+                continue
+            entries.append((role, address))
+        return entries
+
+    def peek_role(self, name: str, role: str) -> Optional[int]:
+        """Raw role entry (no liveness guard, no raise)."""
+        return self._roles.get(name, {}).get(role)
 
     def peek(self, name: str) -> Optional[int]:
         """Raw entry for ``name`` (no liveness guard, no raise).

@@ -13,6 +13,9 @@ byte encoding:
 ``REGISTER_ACK``          backup (Section 4.2)
 ``RECRUIT`` /             primary recruiting a spare host as the new backup
 ``RECRUIT_ACK``           after a failure (Section 4.4)
+``REPLICA_SUBSCRIBE``     read replica joining the primary's update fan-out
+``FRESHNESS_BEACON``      replica's applied high-water timestamp, replica →
+                          primary (read-replica extension, not in the paper)
 ========================  =====================================================
 
 Each message encodes as a 1-byte type tag followed by a fixed
@@ -194,9 +197,54 @@ class _UpdateAckHeader(Header):
     FIELDS = ("object_id", "seq")
 
 
+@dataclass(frozen=True)
+class ReplicaSubscribeMsg:
+    """Read replica asks the current primary for the update stream.
+
+    Replicas are *not* the paper's backups: they never ack, never vote,
+    never fail over.  Subscribing merely adds the replica's address to the
+    primary's update fan-out; ``known_objects`` lets the primary detect a
+    cold (or reset) replica and push a full registration + snapshot sync.
+    Replicas resubscribe periodically, so a post-failover primary rebuilds
+    its subscriber set within one resubscribe period.
+    """
+
+    replica_address: int
+    known_objects: int
+
+    TYPE = 11
+
+
+class _ReplicaSubscribeHeader(Header):
+    FORMAT = "!II"
+    FIELDS = ("replica_address", "known_objects")
+
+
+@dataclass(frozen=True)
+class FreshnessBeaconMsg:
+    """Replica's applied high-water mark, beaconed to the primary.
+
+    ``floor_source_time`` is the minimum applied source timestamp over the
+    replica's objects — the replica provably serves nothing staler.  The
+    primary uses beacons as subscriber liveness (a silent replica falls out
+    of the fan-out) and exposes the floor for diagnostics.
+    """
+
+    replica_address: int
+    floor_source_time: float
+    applied_updates: int
+
+    TYPE = 12
+
+
+class _FreshnessBeaconHeader(Header):
+    FORMAT = "!IdI"
+    FIELDS = ("replica_address", "floor_source_time", "applied_updates")
+
+
 RTPBMessage = Union[UpdateMsg, PingMsg, PingAckMsg, RetxRequestMsg,
                     RegisterMsg, RegisterAckMsg, RecruitMsg, RecruitAckMsg,
-                    UpdateAckMsg]
+                    UpdateAckMsg, ReplicaSubscribeMsg, FreshnessBeaconMsg]
 
 
 # ---------------------------------------------------------------------------
@@ -249,6 +297,17 @@ def encode_message(message: RTPBMessage) -> bytes:
         header = _UpdateAckHeader(object_id=message.object_id,
                                   seq=message.seq)
         return _TYPE_TAG.pack(UpdateAckMsg.TYPE) + header.encode()
+    if isinstance(message, ReplicaSubscribeMsg):
+        header = _ReplicaSubscribeHeader(
+            replica_address=message.replica_address,
+            known_objects=message.known_objects)
+        return _TYPE_TAG.pack(ReplicaSubscribeMsg.TYPE) + header.encode()
+    if isinstance(message, FreshnessBeaconMsg):
+        header = _FreshnessBeaconHeader(
+            replica_address=message.replica_address,
+            floor_source_time=message.floor_source_time,
+            applied_updates=message.applied_updates)
+        return _TYPE_TAG.pack(FreshnessBeaconMsg.TYPE) + header.encode()
     raise MessageFormatError(f"cannot encode {type(message).__name__}")
 
 
@@ -305,4 +364,14 @@ def decode_message(data: bytes) -> RTPBMessage:
     if tag == UpdateAckMsg.TYPE:
         header = _UpdateAckHeader.decode(body)
         return UpdateAckMsg(object_id=header.object_id, seq=header.seq)
+    if tag == ReplicaSubscribeMsg.TYPE:
+        header = _ReplicaSubscribeHeader.decode(body)
+        return ReplicaSubscribeMsg(replica_address=header.replica_address,
+                                   known_objects=header.known_objects)
+    if tag == FreshnessBeaconMsg.TYPE:
+        header = _FreshnessBeaconHeader.decode(body)
+        return FreshnessBeaconMsg(
+            replica_address=header.replica_address,
+            floor_source_time=header.floor_source_time,
+            applied_updates=header.applied_updates)
     raise MessageFormatError(f"unknown RTPB message tag {tag}")

@@ -30,12 +30,14 @@ from repro.core.name_service import NameService
 from repro.core.object_store import ObjectStore
 from repro.core.rtpb_protocol import (
     RTPB_PORT,
+    FreshnessBeaconMsg,
     PingAckMsg,
     PingMsg,
     RecruitAckMsg,
     RecruitMsg,
     RegisterAckMsg,
     RegisterMsg,
+    ReplicaSubscribeMsg,
     RetxRequestMsg,
     UpdateAckMsg,
     UpdateMsg,
@@ -126,7 +128,7 @@ class ReplicaServer:
         self.endpoint = host.udp_endpoint(self.port,
                                           on_receive=self._on_datagram)
         self.transmitter = UpdateTransmitter(
-            sim, self.processor, self.store, config, send=self._send_to_peer)
+            sim, self.processor, self.store, config, send=self._send_update)
         wire_role = (ROLE_PRIMARY_WIRE if role is Role.PRIMARY
                      else ROLE_BACKUP_WIRE)
         self.ping = PingManager(
@@ -145,6 +147,13 @@ class ReplicaServer:
         self.retx_requests_served = 0
         self._register_acked: Set[int] = set()
         self._last_update_at: Dict[int, float] = {}
+        #: Read-replica fan-out (repro.replicas): subscriber address →
+        #: last time we heard from it (subscribe or freshness beacon).
+        #: Empty in every run without replicas, so the update stream — and
+        #: with it every historical trace digest — is untouched.
+        self.replica_subscribers: Dict[int, float] = {}
+        #: Latest beaconed applied high-water timestamp per subscriber.
+        self.replica_floors: Dict[int, float] = {}
         self._watchdog_running = False
         self._recruiting = False
         #: Local timer drift factor shared with the ping manager; the fault
@@ -204,6 +213,8 @@ class ReplicaServer:
         self.peer_address = None
         self._recruiting = False
         self._register_acked.clear()
+        self.replica_subscribers.clear()
+        self.replica_floors.clear()
         self.sim.trace.record("server_recover", server=self.name)
 
     def decommission(self) -> None:
@@ -439,6 +450,10 @@ class ReplicaServer:
                 self._handle_recruit_ack(message)
             elif isinstance(message, UpdateAckMsg):
                 self._on_update_ack(message)
+            elif isinstance(message, ReplicaSubscribeMsg):
+                self._handle_replica_subscribe(message, source_address)
+            elif isinstance(message, FreshnessBeaconMsg):
+                self._handle_freshness_beacon(message, source_address)
         except NoRouteError:
             # A corrupted wire header can yield a source address no host
             # owns; a reply aimed there is a dropped packet, not a fault
@@ -554,6 +569,76 @@ class ReplicaServer:
         overrides this to complete synchronous writes."""
         self.sim.trace.record("update_ack", object=message.object_id,
                               seq=message.seq)
+
+    def _handle_replica_subscribe(self, message: ReplicaSubscribeMsg,
+                                  source_address: int) -> None:
+        """Add (or refresh) a read replica in the update fan-out.
+
+        A subscriber whose object count disagrees with ours is cold (fresh
+        boot, or it missed registrations while we were not its primary):
+        push the full catalogue — a REGISTER plus a state snapshot per
+        object, the same state transfer recruitment uses — straight to its
+        address.  Replicas never ack registrations (that would confuse the
+        primary/backup registration retry), so the periodic resubscribe
+        carrying ``known_objects`` *is* the retry loop.
+        """
+        if self.role is not Role.PRIMARY:
+            return
+        address = message.replica_address
+        if address not in self.replica_subscribers:
+            self.sim.trace.record("replica_subscribe", server=self.name,
+                                  replica=address)
+        self.replica_subscribers[address] = self.sim.now
+        if message.known_objects == len(self.store):
+            return
+        self.sim.trace.record("replica_sync", server=self.name,
+                              replica=address, objects=len(self.store))
+        for record in self.store:
+            period = record.update_period
+            if period is None:
+                period = self.config.update_period(record.spec)
+            spec = record.spec
+            self.endpoint.send(address, self.port, encode_message(RegisterMsg(
+                object_id=spec.object_id, size_bytes=spec.size_bytes,
+                client_period=spec.client_period,
+                delta_primary=spec.delta_primary,
+                delta_backup=spec.delta_backup,
+                update_period=period)))
+            seq, write_time, source_time, value = self.store.snapshot(
+                spec.object_id)
+            if seq > 0:
+                self.endpoint.send(address, self.port, encode_message(
+                    UpdateMsg(object_id=spec.object_id, seq=seq,
+                              write_time=write_time, source_time=source_time,
+                              payload=value, snapshot=True)))
+
+    def _handle_freshness_beacon(self, message: FreshnessBeaconMsg,
+                                 source_address: int) -> None:
+        if self.role is not Role.PRIMARY:
+            return
+        address = message.replica_address
+        if address in self.replica_subscribers:
+            self.replica_subscribers[address] = self.sim.now
+            self.replica_floors[address] = message.floor_source_time
+
+    def _send_update(self, data: bytes) -> None:
+        """Transmit one update: to the backup, then to each subscriber.
+
+        The replica stream piggybacks on the existing transmission bytes —
+        no extra serialisation, no second scheduler.  Subscribers silent for
+        longer than ``replica_subscriber_timeout`` are pruned here (lazily,
+        at fan-out time, which keeps pruning deterministic).
+        """
+        self._send_to_peer(data)
+        if not self.replica_subscribers or not self.alive:
+            return
+        cutoff = self.sim.now - self.config.replica_subscriber_timeout
+        for address in sorted(self.replica_subscribers):
+            if self.replica_subscribers[address] < cutoff:
+                del self.replica_subscribers[address]
+                self.replica_floors.pop(address, None)
+            else:
+                self.endpoint.send(address, self.port, data)
 
     def _handle_retx_request(self, message: RetxRequestMsg) -> None:
         if self.role is not Role.PRIMARY:

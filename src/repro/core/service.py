@@ -89,6 +89,10 @@ class RTPBService:
             self.servers[server.host.address] = server
 
         self.clients: List[SensorClient] = []
+        #: Deployment extensions with a ``start()`` hook, started after the
+        #: core servers and clients.  :class:`repro.replicas.ReplicaExtension`
+        #: registers itself here; the core never imports upward.
+        self.extensions: List[object] = []
         self._registered: List[ObjectSpec] = []
         self._started = False
 
@@ -150,6 +154,8 @@ class RTPBService:
             spare.start()
         for client in self.clients:
             client.start()
+        for extension in self.extensions:
+            extension.start()  # type: ignore[attr-defined]
 
     def run(self, horizon: float) -> None:
         """Run the deployment until virtual time ``horizon``."""

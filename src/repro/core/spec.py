@@ -169,6 +169,20 @@ class ServiceConfig:
     registration_retry_period: float = ms(50.0)
     registration_max_retries: int = 10
 
+    # -- read replicas (repro.replicas extension) -------------------------
+    #: How often a replica beacons its applied high-water timestamp (and
+    #: refreshes the freshness snapshot the router inspects).
+    replica_beacon_period: float = ms(100.0)
+    #: How often a replica re-resolves the name file and (re)subscribes to
+    #: the current primary — bounds read-path recovery after a failover.
+    replica_resubscribe_period: float = ms(500.0)
+    #: Primary drops a subscriber heard nothing from for this long.
+    replica_subscriber_timeout: float = 2.0
+    #: Router headroom added to a replica's advertised staleness before
+    #: testing it against δ_i^B — absorbs advertisement lag (one beacon
+    #: period) plus read queueing at the replica.
+    read_headroom: float = ms(10.0)
+
     def __post_init__(self) -> None:
         if self.ell <= 0:
             raise ReplicationError(f"ell must be > 0: {self.ell}")

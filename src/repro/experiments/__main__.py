@@ -33,6 +33,8 @@ FIGURES = {
     "fig10": figures.figure10_distance_without_admission,
     "fig11": figures.figure11_inconsistency_normal,
     "fig12": figures.figure12_inconsistency_compressed,
+    "fig13": figures.figure13_read_throughput_vs_replicas,
+    "fig14": figures.figure14_read_staleness_vs_window,
 }
 
 _QUICK_OVERRIDES = {
@@ -46,13 +48,17 @@ _QUICK_OVERRIDES = {
                   windows=(ms(50), ms(200))),
     "fig12": dict(loss_probabilities=(0.0, 0.1),
                   windows=(ms(50), ms(200))),
+    "fig13": dict(replica_counts=(0, 2), read_periods=(ms(1.0), ms(2.0)),
+                  horizon=6.0),
+    "fig14": dict(windows=(ms(100), ms(400)), horizon=6.0),
 }
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the paper's evaluation figures (6-12).")
+        description="Regenerate the paper's evaluation figures (6-12) and "
+                    "the read-replica extension figures (13-14).")
     parser.add_argument("figure",
                         choices=sorted(FIGURES) + ["all", "list"],
                         help="which figure to regenerate")

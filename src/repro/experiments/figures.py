@@ -30,6 +30,11 @@ Paper-shape expectations (what EXPERIMENTS.md checks):
   the window).
 - **Fig 12**: (compressed scheduling) still longer with more loss, but
   *shorter* with larger windows — the crossover the paper highlights.
+- **Fig 13** (extension, :mod:`repro.replicas`): read throughput grows
+  with replica count; the zero-replica baseline (every read a primary
+  fallback) anchors the curve.
+- **Fig 14** (extension): every read-staleness percentile grows with the
+  window (update period scales with it), and the tail stays below δ^B.
 """
 
 from __future__ import annotations
@@ -243,3 +248,84 @@ def _inconsistency_series(name: str, loss_probabilities: Sequence[float],
     ]
     return _sweep(series, specs, jobs,
                   lambda outcome: outcome.avg_inconsistency)
+
+
+# ---------------------------------------------------------------------------
+# Figures 13-14 (extension): the read-replica staleness-SLO story
+# ---------------------------------------------------------------------------
+
+
+def _read_period_label(period: float) -> str:
+    return f"read-period={to_ms(period):.1f}ms"
+
+
+def figure13_read_throughput_vs_replicas(
+        replica_counts: Sequence[int] = (0, 1, 2, 3),
+        read_periods: Sequence[float] = (ms(0.5), ms(1.0), ms(2.0)),
+        n_objects: int = 8, window: float = ms(200.0),
+        horizon: float = 10.0, seed: int = 0, jobs: int = 1) -> Series:
+    """Figure 13 (extension): read throughput vs read-replica count.
+
+    Not a figure of the paper: it evaluates :mod:`repro.replicas`.  Readers
+    are closed-loop pollers, so at saturation the measured throughput *is*
+    the serving tier's capacity; adding window-consistent replicas grows it
+    roughly linearly (0 replicas = every read falls back to the primary,
+    the baseline point).  The faster curves saturate earlier, so the
+    replica-count slope is steeper there.
+    """
+    series = Series(name="Figure 13: read throughput vs replica count",
+                    x_label="read replicas",
+                    y_label="read throughput (reads/s)",
+                    curve_label="per-object read period")
+    specs = [
+        RunSpec(
+            scenario=Scenario(
+                n_objects=n_objects, window=window, horizon=horizon,
+                n_replicas=count, read_period=period,
+                seed=derive_seed(seed, "read-throughput", period, count)),
+            key=(_read_period_label(period), count))
+        for period in read_periods for count in replica_counts
+    ]
+    for outcome in run_specs(specs, jobs=jobs):
+        assert outcome.key is not None
+        curve, x = outcome.key
+        series.add_point(curve, x, round(outcome.metrics.read_throughput, 1))
+    return series
+
+
+def figure14_read_staleness_vs_window(
+        windows: Sequence[float] = (ms(100.0), ms(200.0), ms(400.0),
+                                    ms(800.0)),
+        n_replicas: int = 2, read_period: float = ms(2.0),
+        n_objects: int = 8, horizon: float = 10.0, seed: int = 0,
+        jobs: int = 1) -> Series:
+    """Figure 14 (extension): delivered read staleness vs window size.
+
+    Not a figure of the paper: it evaluates :mod:`repro.replicas`.  The
+    update period scales with the window ((window - ell) / slack), so
+    larger windows mean replicas hear from the primary less often and every
+    staleness percentile grows with the window — while the p999 tail must
+    stay below delta^B (the replica refuses rather than serve past it; the
+    SLO audit in the bench suite pins violations at zero).
+    """
+    series = Series(name="Figure 14: delivered read staleness vs window",
+                    x_label="window (ms)",
+                    y_label="read staleness (ms)",
+                    curve_label="percentile")
+    specs = [
+        RunSpec(
+            scenario=Scenario(
+                n_objects=n_objects, window=window, horizon=horizon,
+                n_replicas=n_replicas, read_period=read_period,
+                seed=derive_seed(seed, "read-staleness", window)),
+            key=("staleness", to_ms(window)))
+        for window in windows
+    ]
+    for outcome in run_specs(specs, jobs=jobs):
+        assert outcome.key is not None
+        _, x = outcome.key
+        stats = outcome.metrics.read_staleness
+        series.add_point("p50", x, to_ms(stats.p50))
+        series.add_point("p99", x, to_ms(stats.p99))
+        series.add_point("p999", x, to_ms(stats.p999))
+    return series

@@ -25,7 +25,7 @@ the tracer, so the storage filter does not blind it).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.service import RTPBService
@@ -33,6 +33,10 @@ from repro.metrics.collectors import (
     SummaryStats,
     average_inconsistency_duration,
     average_max_distance,
+    primary_fallback_rate,
+    read_slo_violations,
+    read_staleness_stats,
+    read_throughput,
     response_time_stats,
     unanswered_writes,
     update_delivery_rate,
@@ -64,6 +68,16 @@ METRIC_TRACE_CATEGORIES = (
     "client_activated",
     "fault_injected",
     "invariant_violation",
+    # Read path (repro.replicas).  Replica-free runs never emit these, so
+    # enabling them leaves every historical trace digest byte-identical.
+    "client_read",
+    "read_served",
+    "read_refused_stale",
+    "read_rejected",
+    "read_fallback",
+    "read_unserved",
+    "replica_subscribe",
+    "replica_sync",
 )
 
 
@@ -82,6 +96,12 @@ class RunMetrics:
     avg_inconsistency: float
     #: Fraction of transmitted updates applied at the backup.
     delivery_rate: float
+    #: Read path (repro.replicas); inert defaults on write-only runs.
+    read_throughput: float = 0.0
+    read_staleness: SummaryStats = field(
+        default_factory=SummaryStats.empty)
+    slo_violations: int = 0
+    fallback_rate: float = 0.0
 
     @property
     def mean_response(self) -> float:
@@ -193,4 +213,8 @@ def collect(scenario: Scenario, service: RTPBService,
         avg_inconsistency=average_inconsistency_duration(service, horizon,
                                                          start=warmup),
         delivery_rate=update_delivery_rate(service),
+        read_throughput=read_throughput(service, horizon, start=warmup),
+        read_staleness=read_staleness_stats(service, start=warmup),
+        slo_violations=read_slo_violations(service),
+        fallback_rate=primary_fallback_rate(service, start=warmup),
     )

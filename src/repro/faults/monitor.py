@@ -13,6 +13,10 @@ storage filter) and watches three invariants:
 - **failover deadline** — after a primary crash with a live backup,
   the failover must happen within the configured detection bound
   (Section 4.4) plus a margin.
+- **replica staleness** — no read served by a read replica
+  (:mod:`repro.replicas`) may exceed its object's registered δ^B: every
+  ``read_served`` record's delivered staleness is checked against the
+  bound it was served under.
 
 Violations are collected on :attr:`InvariantMonitor.violations`, traced as
 ``invariant_violation`` records, and optionally reported through a callback
@@ -36,6 +40,7 @@ _EPSILON = 1e-9
 TEMPORAL_WINDOW = "temporal_window"
 SPLIT_BRAIN = "split_brain"
 MISSED_FAILOVER = "missed_failover"
+REPLICA_STALENESS = "replica_staleness"
 
 
 def _server_name(server: Any) -> str:
@@ -146,6 +151,8 @@ class InvariantMonitor:
             # raises a spurious violation).
             self._reset_window_state()
             self._schedule_split_check()
+        elif category == "read_served":
+            self._on_read_served(record)
         elif category == "server_recover":
             if self._is_member(record.get("server")):
                 self._schedule_split_check()
@@ -222,6 +229,24 @@ class InvariantMonitor:
     def _reset_window_state(self) -> None:
         self._pending.clear()
         self._violating.clear()
+
+    # -- replica staleness -------------------------------------------------
+
+    def _on_read_served(self, record: TraceRecord) -> None:
+        # Replicas are not ``service.servers`` members, so the usual server
+        # demux does not apply; replica records carry the service name they
+        # subscribed under instead.
+        if record.get("service") != getattr(self.service, "service_name",
+                                            None):
+            return
+        staleness = record.get("staleness")
+        bound = record.get("bound")
+        if staleness is None or bound is None:
+            return
+        if staleness > bound + _EPSILON:
+            self._emit(REPLICA_STALENESS, object=record.get("object"),
+                       server=record.get("server"), staleness=staleness,
+                       bound=bound, excess=staleness - bound)
 
     # -- split brain -------------------------------------------------------
 

@@ -70,6 +70,16 @@ def outcome_report(chaos: ChaosScenario, seed: int,
     """Flatten one chaos outcome into deterministic, JSON-ready data."""
     metrics = outcome.metrics
     expected = set(chaos.expected_violations)
+    # Read-path numbers appear only when the workload ran readers, so
+    # replica-free chaos reports stay byte-identical to their history.
+    read_metrics: Dict[str, Any] = {}
+    if metrics.read_staleness.count:
+        read_metrics = {
+            "read_throughput": metrics.read_throughput,
+            "p99_read_staleness": metrics.read_staleness.p99,
+            "read_slo_violations": metrics.slo_violations,
+            "fallback_rate": metrics.fallback_rate,
+        }
     return {
         "scenario": {
             "name": chaos.name,
@@ -99,6 +109,7 @@ def outcome_report(chaos: ChaosScenario, seed: int,
             "avg_inconsistency": metrics.avg_inconsistency,
             "delivery_rate": metrics.delivery_rate,
             "duplicate_deliveries": outcome.duplicate_deliveries,
+            **read_metrics,
         }),
         "network": dict(outcome.network),
         "trace_digest": outcome.trace_digest,

@@ -203,6 +203,42 @@ def cluster_group_outage(seed: int = 0) -> ChaosScenario:
     )
 
 
+def cluster_replica_outage(seed: int = 0) -> ChaosScenario:
+    """Read-heavy cluster: replica crash plus host isolation mid-sweep.
+
+    A 2-shard/5-host cluster serves a read-heavy workload through one read
+    replica per group.  At t=3 g00's replica fail-stops — until the
+    manager sweep recruits and syncs a fresh seat, every g00 read falls
+    back to the primary.  At t=5 g01's replica host is cut off the fabric
+    for 4 seconds: the replica stays *alive* (so the sweep recruits no
+    replacement) but stops hearing updates, its provable staleness grows
+    past δ^B, and it refuses reads rather than serve stale data — the
+    router falls back to the primary for the whole isolation window, and
+    the replica rejoins via its own resubscribe loop after the heal.  The
+    pass condition is the tentpole's acceptance criterion: primary
+    fallback engages (``fallback_rate > 0``) while the
+    ``replica_staleness`` invariant stays silent — no served read ever
+    exceeded its window.  Temporal-window noise from co-located member
+    seats on the isolated host is expected; replica_staleness is not.
+    """
+    from repro.workload.cluster import ClusterScenario
+
+    workload = ClusterScenario(n_shards=2, n_hosts=5, n_objects=8,
+                               horizon=20.0, seed=seed,
+                               replicas_per_group=1, read_period=ms(20.0))
+    schedule = (FaultSchedule()
+                .crash(3.0, "g00/replica0")
+                .isolate(5.0, 4.0, "g01/replica0"))
+    return ChaosScenario(
+        name="cluster_replica_outage",
+        description="read-heavy cluster: replica crash + host isolation, "
+                    "staleness SLO must hold via refusal and fallback",
+        workload=workload,
+        schedule=schedule,
+        expected_violations=(TEMPORAL_WINDOW,),
+    )
+
+
 #: The catalogue: name -> factory(seed).
 SCENARIOS: Dict[str, Callable[[int], ChaosScenario]] = {
     factory.__name__: factory
@@ -213,6 +249,7 @@ SCENARIOS: Dict[str, Callable[[int], ChaosScenario]] = {
         crash_plus_partition,
         degraded_network,
         cluster_group_outage,
+        cluster_replica_outage,
     )
 }
 

@@ -22,19 +22,41 @@ from repro.core.service import RTPBService
 from repro.errors import ReplicationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class SummaryStats:
-    """Five-number-ish summary of a sample."""
+    """Summary of a sample: centre, shoulder, and tail percentiles."""
 
     count: int
     mean: float
     p50: float
     p95: float
     maximum: float
+    #: Tail percentiles (ROADMAP: tail metrics).  Defaulted so older
+    #: positional construction sites keep working.
+    p99: float = math.nan
+    p999: float = math.nan
 
     @staticmethod
     def empty() -> "SummaryStats":
-        return SummaryStats(0, math.nan, math.nan, math.nan, math.nan)
+        return SummaryStats(0, math.nan, math.nan, math.nan, math.nan,
+                            math.nan, math.nan)
+
+    def _key(self) -> Tuple[object, ...]:
+        # Empty samples are NaN-filled; two of them must still compare
+        # equal (sweep outcomes carrying stats are compared across
+        # serial/parallel executions), so NaN maps to a sentinel.
+        return tuple(
+            None if isinstance(value, float) and math.isnan(value) else value
+            for value in (self.count, self.mean, self.p50, self.p95,
+                          self.maximum, self.p99, self.p999))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SummaryStats):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
 
 
 def summarize(values: Sequence[float]) -> SummaryStats:
@@ -48,6 +70,8 @@ def summarize(values: Sequence[float]) -> SummaryStats:
         p50=_percentile(ordered, 0.50),
         p95=_percentile(ordered, 0.95),
         maximum=ordered[-1],
+        p99=_percentile(ordered, 0.99),
+        p999=_percentile(ordered, 0.999),
     )
 
 
@@ -380,3 +404,106 @@ def _update_arrivals(service: RTPBService,
         1 for record in (service.trace.select("backup_apply")
                          + service.trace.select("backup_apply_stale"))
         if ids is None or record["object"] in ids)
+
+
+# ---------------------------------------------------------------------------
+# Staleness-SLO read accounting (repro.replicas)
+# ---------------------------------------------------------------------------
+
+
+def _served_read_records(service: RTPBService, start: float = 0.0,
+                         objects: Optional[Iterable[int]] = None) -> List:
+    """Served reads across both tiers: replicas and the primary.
+
+    ``read_served`` records come from replicas, ``client_read`` from the
+    primary (fallbacks and direct primary reads) — delivered-staleness
+    accounting must cover both or fallback traffic would vanish from the
+    distribution.
+    """
+    ids = None if objects is None else set(objects)
+    records = (service.trace.select("read_served")
+               + service.trace.select("client_read"))
+    return [record for record in records
+            if record["issue"] >= start
+            and (ids is None or record["object"] in ids)]
+
+
+def read_staleness_values(service: RTPBService, start: float = 0.0,
+                          objects: Optional[Iterable[int]] = None
+                          ) -> List[float]:
+    """Delivered staleness of every served read after ``start``.
+
+    Reads of never-written objects report infinite staleness; those are
+    excluded (the value is a routing artefact, not a sample age).
+    """
+    return [record["staleness"]
+            for record in _served_read_records(service, start, objects)
+            if math.isfinite(record["staleness"])]
+
+
+def read_staleness_stats(service: RTPBService, start: float = 0.0,
+                         objects: Optional[Iterable[int]] = None
+                         ) -> SummaryStats:
+    return summarize(read_staleness_values(service, start, objects=objects))
+
+
+def read_response_stats(service: RTPBService, start: float = 0.0,
+                        objects: Optional[Iterable[int]] = None
+                        ) -> SummaryStats:
+    """Queueing + service time of served reads, both tiers."""
+    return summarize([
+        record["response"]
+        for record in _served_read_records(service, start, objects)])
+
+
+def reads_served_count(service: RTPBService, start: float = 0.0,
+                       objects: Optional[Iterable[int]] = None) -> int:
+    return len(_served_read_records(service, start, objects))
+
+
+def read_throughput(service: RTPBService, horizon: float, start: float = 0.0,
+                    objects: Optional[Iterable[int]] = None) -> float:
+    """Served reads per second over ``[start, horizon]``, both tiers."""
+    span = horizon - start
+    if span <= 0:
+        return 0.0
+    return reads_served_count(service, start, objects) / span
+
+
+def read_slo_violations(service: RTPBService,
+                        objects: Optional[Iterable[int]] = None) -> int:
+    """Served *replica* reads whose staleness exceeded their bound.
+
+    The replica's serve-time re-check makes this structurally zero; the
+    collector is the offline audit backing
+    :class:`~repro.faults.monitor.ReplicaStalenessInvariant` (same
+    predicate, independent implementation).
+    """
+    ids = None if objects is None else set(objects)
+    return sum(
+        1 for record in service.trace.select("read_served")
+        if (ids is None or record["object"] in ids)
+        and record["staleness"] > record["bound"] + 1e-12)
+
+
+def primary_fallback_rate(service: RTPBService, start: float = 0.0,
+                          objects: Optional[Iterable[int]] = None) -> float:
+    """Fraction of issued reads the replica tier could not honour.
+
+    Counts ``read_fallback`` records (routing found no qualified replica,
+    or the routed replica refused late) against all reads that entered the
+    system — replica-served plus fallbacks.  0.0 when no reads ran.
+    """
+    ids = None if objects is None else set(objects)
+    fallbacks = sum(
+        1 for record in service.trace.select("read_fallback")
+        if record.time >= start
+        and (ids is None or record["object"] in ids))
+    replica_served = sum(
+        1 for record in service.trace.select("read_served")
+        if record["issue"] >= start
+        and (ids is None or record["object"] in ids))
+    total = fallbacks + replica_served
+    if total == 0:
+        return 0.0
+    return fallbacks / total

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.core.service import RTPBService
@@ -12,6 +12,8 @@ from repro.metrics.collectors import (
     average_max_distance,
     backup_external_violations,
     failover_latency,
+    primary_fallback_rate,
+    read_staleness_stats,
     response_time_stats,
     unanswered_writes,
     update_delivery_rate,
@@ -34,6 +36,9 @@ class RunSummary:
     delivery_rate: float
     backup_violations: int
     failover: Optional[float]
+    #: Read path (repro.replicas); empty on write-only runs.
+    read_staleness: SummaryStats = field(default_factory=SummaryStats.empty)
+    fallback_rate: float = 0.0
 
     def to_table(self) -> Table:
         table = Table("Run summary", ["metric", "value"])
@@ -43,6 +48,20 @@ class RunSummary:
                       if self.response.count else "-")
         table.add_row("p95 response (ms)", to_ms(self.response.p95)
                       if self.response.count else "-")
+        table.add_row("p99 response (ms)", to_ms(self.response.p99)
+                      if self.response.count else "-")
+        table.add_row("p999 response (ms)", to_ms(self.response.p999)
+                      if self.response.count else "-")
+        if self.read_staleness.count:
+            table.add_row("reads measured", self.read_staleness.count)
+            table.add_row("p50 read staleness (ms)",
+                          to_ms(self.read_staleness.p50))
+            table.add_row("p99 read staleness (ms)",
+                          to_ms(self.read_staleness.p99))
+            table.add_row("p999 read staleness (ms)",
+                          to_ms(self.read_staleness.p999))
+            table.add_row("primary fallback rate",
+                          round(self.fallback_rate, 4))
         table.add_row("starved writes", self.starved_writes)
         table.add_row("avg max P/B distance (ms)",
                       to_ms(self.avg_max_distance))
@@ -77,4 +96,6 @@ def summarize_run(service: RTPBService, horizon: float,
         backup_violations=sum(len(per_object)
                               for per_object in violations.values()),
         failover=failover_latency(service),
+        read_staleness=read_staleness_stats(service, start=warmup),
+        fallback_rate=primary_fallback_rate(service, start=warmup),
     )

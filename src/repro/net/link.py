@@ -155,6 +155,8 @@ class NetworkFabric:
         self.corrupt_probability = 0.0
         self._ports: Dict[int, LinkPort] = {}
         self._partitions: Set[Tuple[int, int]] = set()
+        #: Extra per-pair one-way delay (topology / rack distance), symmetric.
+        self._link_distances: Dict[Tuple[int, int], float] = {}
         self.messages_sent = 0
         self.messages_dropped = 0
         self.messages_delivered = 0
@@ -213,6 +215,38 @@ class NetworkFabric:
             if other != address:
                 self.set_partition(address, other, isolated)
 
+    def set_link_distance(self, a: int, b: int, extra_delay: float) -> None:
+        """Add ``extra_delay`` seconds of one-way delay between two hosts.
+
+        Models topology (rack / site distance) on the otherwise-uniform
+        segment: messages between the pair take the usual uniform draw
+        *plus* this constant, in both directions.  Setting 0 removes the
+        entry.  The effective delay bound for such a pair is
+        ``delay_bound + extra_delay`` — deployments placing replicas at a
+        distance must size ℓ (and the windows derived from it) accordingly.
+        The default (no entries) leaves every existing run byte-identical.
+        """
+        if extra_delay < 0:
+            raise ProtocolError(
+                f"link distance must be >= 0: {extra_delay}")
+        key = (min(a, b), max(a, b))
+        if extra_delay == 0:
+            self._link_distances.pop(key, None)
+        else:
+            self._link_distances[key] = extra_delay
+
+    def link_distance(self, a: int, b: int) -> float:
+        """Mean one-way delay between two addresses (routing heuristic).
+
+        The base term is the mean of the uniform draw shared by every pair;
+        the extra term is the configured pair distance.  A ``nearest``
+        read-routing policy minimises this.
+        """
+        if a == b:
+            return 0.0
+        base = (self.delay_min + self.delay_bound) / 2.0
+        return base + self._link_distances.get((min(a, b), max(a, b)), 0.0)
+
     def set_duplication(self, probability: float) -> None:
         """Deliver each non-dropped message twice with this probability."""
         if not 0.0 <= probability <= 1.0:
@@ -253,6 +287,7 @@ class NetworkFabric:
             return
         delay_rng = self.sim.random.stream(f"{self.name}.delay")
         delay = delay_rng.uniform(self.delay_min, self.delay_bound)
+        delay += self._link_distances.get(key, 0.0)
         payload = message.copy()
         if self.corrupt_probability > 0.0:
             corrupt_rng = self.sim.random.stream(f"{self.name}.corrupt")
@@ -267,7 +302,8 @@ class NetworkFabric:
         if self.duplicate_probability > 0.0:
             dup_rng = self.sim.random.stream(f"{self.name}.duplicate")
             if dup_rng.random() < self.duplicate_probability:
-                dup_delay = dup_rng.uniform(self.delay_min, self.delay_bound)
+                dup_delay = (dup_rng.uniform(self.delay_min, self.delay_bound)
+                             + self._link_distances.get(key, 0.0))
                 self.messages_duplicated += 1
                 self.sim.trace.record("link_duplicate", src=source,
                                       dst=destination, delay=dup_delay)

@@ -1,0 +1,151 @@
+"""``python -m repro.replicas`` — the read-replica scaling sweep CLI.
+
+Sweeps a read-heavy workload over replica counts × seeds through
+:mod:`repro.parallel` and emits one deterministic JSON document (sorted
+keys, virtual-time everything) with per-run staleness-SLO accounting::
+
+    python -m repro.replicas --replica-counts 0 1 2 3 --seeds 0 1 --jobs 4
+    python -m repro.replicas --quick --jobs 2 --require-identical
+
+``--require-identical`` re-runs the whole sweep serially (``jobs=1``) and
+fails unless every per-run trace digest matches the parallel pass — the
+read path's determinism gate, mirroring the bench harness's
+``--compare --require-identical`` flow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.metrics.jsonio import stable_dumps
+from repro.parallel import derive_seed, resolve_jobs, run_specs
+from repro.parallel.spec import RunOutcome, RunSpec
+from repro.replicas.router import POLICIES
+from repro.units import ms
+from repro.workload.scenarios import Scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.replicas",
+        description="Read-replica scaling sweep (deterministic).")
+    parser.add_argument("--replica-counts", type=int, nargs="+",
+                        default=[0, 1, 2, 3], metavar="N",
+                        help="replica counts to sweep (default 0 1 2 3; "
+                             "0 = every read falls back to the primary)")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1],
+                        metavar="SEED", help="root seeds (default 0 1)")
+    parser.add_argument("--objects", type=int, default=8,
+                        help="objects in the service (default 8)")
+    parser.add_argument("--window", type=float, default=ms(200.0),
+                        help="temporal window, seconds (default 0.2)")
+    parser.add_argument("--read-period", type=float, default=ms(2.0),
+                        help="per-object read period, seconds "
+                             "(default 0.002)")
+    parser.add_argument("--policy", choices=POLICIES, default="round_robin",
+                        help="read-routing policy (default round_robin)")
+    parser.add_argument("--horizon", type=float, default=12.0,
+                        help="virtual-time horizon, seconds (default 12)")
+    parser.add_argument("--warmup", type=float, default=2.0,
+                        help="seconds excluded from metrics (default 2.0)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized sweep: counts 0 1 2, one seed, "
+                             "6 s horizon")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="sweep workers (0 = one per CPU; default: "
+                             "$REPRO_JOBS or 1); digests are identical "
+                             "for any value")
+    parser.add_argument("--require-identical", action="store_true",
+                        help="re-run serially and fail unless every trace "
+                             "digest matches the parallel pass")
+    parser.add_argument("--output", metavar="PATH",
+                        help="write the JSON document here instead of "
+                             "stdout")
+    return parser
+
+
+def _specs(args: argparse.Namespace) -> List[RunSpec]:
+    specs = []
+    for count in args.replica_counts:
+        for seed in args.seeds:
+            scenario = Scenario(
+                n_objects=args.objects, window=args.window,
+                horizon=args.horizon,
+                n_replicas=count, read_period=args.read_period,
+                read_policy=args.policy,
+                seed=derive_seed(seed, "replicas", count))
+            specs.append(RunSpec(scenario=scenario, warmup=args.warmup,
+                                 key=("replicas", count, seed)))
+    return specs
+
+
+def _run_entry(outcome: RunOutcome) -> Dict[str, Any]:
+    assert outcome.key is not None
+    metrics = outcome.metrics
+    return {
+        "replicas": outcome.key[1],
+        "seed": outcome.key[2],
+        "digest": outcome.trace_digest,
+        "events": outcome.events_executed,
+        "trace_records": outcome.trace_records,
+        "read_throughput": metrics.read_throughput,
+        "p50_read_staleness": metrics.read_staleness.p50,
+        "p99_read_staleness": metrics.read_staleness.p99,
+        "slo_violations": metrics.slo_violations,
+        "fallback_rate": metrics.fallback_rate,
+    }
+
+
+def _check_identical(specs: Sequence[RunSpec],
+                     parallel: Sequence[RunOutcome]) -> List[str]:
+    """Serial re-run digest check; returns human-readable mismatches."""
+    serial = run_specs(list(specs), jobs=1)
+    problems = []
+    for left, right in zip(serial, parallel):
+        if left.trace_digest != right.trace_digest:
+            problems.append(
+                f"{right.key}: serial digest {left.trace_digest[:12]} != "
+                f"parallel digest {right.trace_digest[:12]}")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.replica_counts = [0, 1, 2]
+        args.seeds = args.seeds[:1]
+        args.horizon = 6.0
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
+    specs = _specs(args)
+    outcomes = run_specs(specs, jobs=jobs)
+    document: Dict[str, Any] = {
+        "jobs": jobs,
+        "policy": args.policy,
+        "read_period": args.read_period,
+        "runs": [_run_entry(outcome) for outcome in outcomes],
+    }
+    if args.require_identical:
+        problems = _check_identical(specs, outcomes)
+        document["identical"] = not problems
+        for problem in problems:
+            print(f"MISMATCH {problem}", file=sys.stderr)
+    text = stable_dumps(document)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            parser.error(f"cannot write --output {args.output}: {exc}")
+    else:
+        print(text)
+    return 1 if args.require_identical and not document["identical"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

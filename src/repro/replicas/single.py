@@ -1,0 +1,74 @@
+"""Read-replica extension of a single-group :class:`RTPBService`.
+
+The core service facade knows nothing about replicas (the layering is
+``core → replicas``, never backward); this module bolts a replica tier
+onto an existing deployment: N replica hosts on the same fabric, a
+:class:`ReadRouter`, and any number of :class:`ReaderClient` populations.
+The extension registers itself in ``service.extensions`` so
+``service.start()`` / ``service.run()`` bring the tier up with the rest
+of the deployment — scenario code stays one-call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.rtpb_protocol import RTPB_PORT
+from repro.core.service import RTPBService
+from repro.core.spec import ObjectSpec
+from repro.errors import ReplicationError
+from repro.net.ip import Host
+from repro.replicas.reader import ReaderClient
+from repro.replicas.router import ReadRouter
+from repro.replicas.server import ReadReplica
+
+
+class ReplicaExtension:
+    """N read replicas + a read router attached to one RTPB service."""
+
+    def __init__(self, service: RTPBService, n_replicas: int,
+                 policy: str = "round_robin") -> None:
+        if n_replicas <= 0:
+            raise ReplicationError(
+                f"n_replicas must be > 0: {n_replicas}")
+        self.service = service
+        self.replicas: List[ReadReplica] = []
+        self.readers: List[ReaderClient] = []
+        self._by_address: Dict[int, ReadReplica] = {}
+        first_address = max(service.servers) + 1
+        for index in range(n_replicas):
+            address = first_address + index
+            host = Host(service.sim, service.fabric, f"replica{index}",
+                        address)
+            replica = ReadReplica(
+                service.sim, host, service.config, service.name_service,
+                service_name=service.service_name,
+                role_name=f"replica{index}", port=RTPB_PORT)
+            self.replicas.append(replica)
+            self._by_address[address] = replica
+        self.router = ReadRouter(
+            service.sim, service.name_service, service.service_name,
+            resolver=self.resolve_replica, config=service.config,
+            policy=policy, fabric=service.fabric)
+        service.extensions.append(self)
+
+    def resolve_replica(self, address: int) -> Optional[ReadReplica]:
+        return self._by_address.get(address)
+
+    def create_reader(self, specs: Sequence[ObjectSpec], read_period: float,
+                      name: str = "reader") -> ReaderClient:
+        """Attach one reading client population over ``specs``."""
+        reader = ReaderClient(
+            self.service.sim, self.service.name_service,
+            self.service.service_name, router=self.router,
+            resolver=self.service.resolve_server, specs=specs,
+            read_period=read_period, name=name)
+        self.readers.append(reader)
+        return reader
+
+    def start(self) -> None:
+        """Bring the replica tier up (called by ``service.start()``)."""
+        for replica in self.replicas:
+            replica.start()
+        for reader in self.readers:
+            reader.start()

@@ -76,6 +76,20 @@ CLUSTER_PLACE = "cluster_place"
 CLUSTER_REJECT = "cluster_reject"
 CLUSTER_HOST_DOWN = "cluster_host_down"
 
+# -- read replicas (repro.replicas) ----------------------------------------
+REPLICA_SUBSCRIBE = "replica_subscribe"
+REPLICA_SYNC = "replica_sync"
+REPLICA_APPLY = "replica_apply"
+REPLICA_APPLY_STALE = "replica_apply_stale"
+REPLICA_BEACON = "replica_beacon"
+
+# -- staleness-SLO read path (repro.replicas) ------------------------------
+READ_SERVED = "read_served"
+READ_REFUSED_STALE = "read_refused_stale"
+READ_REJECTED = "read_rejected"
+READ_FALLBACK = "read_fallback"
+READ_UNSERVED = "read_unserved"
+
 #: Every category any library component may record.
 ALL_CATEGORIES = frozenset(
     value for name, value in sorted(globals().items())

@@ -57,6 +57,12 @@ class ClusterScenario:
     ell: float = ms(5.0)
     #: Random client-write jitter half-width, seconds.
     write_jitter: float = ms(2.0)
+    #: Read replicas per group (0 = paper-faithful: none).
+    replicas_per_group: int = 0
+    #: Per-object read period of each group's reader, seconds (0 = none).
+    read_period: float = 0.0
+    #: Read-routing policy (see :data:`repro.replicas.POLICIES`).
+    read_policy: str = "round_robin"
 
     def loss_model(self) -> LossModel:
         if self.loss_probability <= 0:
@@ -84,6 +90,9 @@ def build_cluster(scenario: ClusterScenario) -> ClusterService:
         backups_per_group=scenario.backups_per_group,
         rebalance_period=scenario.rebalance_period,
         write_jitter=scenario.write_jitter,
+        replicas_per_group=scenario.replicas_per_group,
+        read_period=scenario.read_period,
+        read_policy=scenario.read_policy,
     )
     cluster.register_all(homogeneous_specs(
         scenario.n_objects,

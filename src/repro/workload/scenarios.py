@@ -66,6 +66,13 @@ class Scenario:
     ell: float = ms(5.0)
     #: Random client-write jitter half-width, seconds.
     write_jitter: float = ms(2.0)
+    #: Read replicas attached to the deployment (0 = paper-faithful: none).
+    n_replicas: int = 0
+    #: Per-object read period of the reader population, seconds
+    #: (0 = no readers).
+    read_period: float = 0.0
+    #: Read-routing policy (see :data:`repro.replicas.POLICIES`).
+    read_policy: str = "round_robin"
 
     def loss_model(self) -> LossModel:
         if self.loss_probability <= 0:
@@ -104,4 +111,29 @@ def build_scenario(scenario: Scenario) -> RTPBService:
     accepted = service.registered_specs()
     if accepted:
         service.create_client(accepted, write_jitter=scenario.write_jitter)
+    if scenario.n_replicas > 0:
+        # Local import keeps the layering acyclic: repro.replicas imports
+        # repro.core, and this module is imported by repro.core consumers.
+        from repro.replicas.single import ReplicaExtension
+
+        extension = ReplicaExtension(service, scenario.n_replicas,
+                                     policy=scenario.read_policy)
+        if accepted and scenario.read_period > 0:
+            extension.create_reader(accepted,
+                                    read_period=scenario.read_period)
+    elif accepted and scenario.read_period > 0:
+        # Readers without replicas: every read falls back to the primary —
+        # the baseline point of the replica-scaling figure.
+        from repro.replicas.reader import ReaderClient
+        from repro.replicas.router import ReadRouter
+
+        router = ReadRouter(
+            service.sim, service.name_service, service.service_name,
+            resolver=lambda _address: None, config=service.config,
+            policy=scenario.read_policy, fabric=service.fabric)
+        reader = ReaderClient(
+            service.sim, service.name_service, service.service_name,
+            router=router, resolver=service.resolve_server, specs=accepted,
+            read_period=scenario.read_period)
+        service.extensions.append(reader)
     return service

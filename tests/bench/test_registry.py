@@ -14,6 +14,7 @@ def test_registry_names_cover_the_suite():
         "fig06_response_time_ac", "fig07_response_time_noac",
         "fig08_distance_vs_loss", "fig09_distance_ac", "fig10_distance_noac",
         "fig11_inconsistency_normal", "fig12_inconsistency_compressed",
+        "replica_read_steady", "replica_read_failover",
     }
     assert expected <= set(SCENARIOS)
 

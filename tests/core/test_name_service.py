@@ -53,6 +53,67 @@ def test_unpublish_removes_the_entry_and_is_idempotent():
     assert service.changes == [(0.0, "rtpb", 1), (0.0, "rtpb", UNPUBLISHED)]
 
 
+def test_role_entries_are_separate_from_the_primary_entry():
+    service = NameService(Simulator())
+    service.publish("rtpb", 1)
+    service.publish_role("rtpb", "replica0", 5)
+    service.publish_role("rtpb", "replica1", 6)
+    # Roles never shadow the primary slot, and lookup ignores them.
+    assert service.lookup("rtpb") == 1
+    assert service.lookup_roles("rtpb") == [("replica0", 5), ("replica1", 6)]
+    assert service.peek_role("rtpb", "replica1") == 6
+    assert service.peek_role("rtpb", "ghost") is None
+
+
+def test_role_prefix_filter_selects_read_replicas_only():
+    service = NameService(Simulator())
+    service.publish_role("rtpb", "replica0", 5)
+    service.publish_role("rtpb", "witness", 9)
+    assert service.lookup_roles("rtpb", prefix="replica") == [("replica0", 5)]
+
+
+def test_unpublish_role_is_idempotent_and_records_composite_changes():
+    from repro.core.name_service import ROLE_SEPARATOR, UNPUBLISHED
+
+    service = NameService(Simulator())
+    service.publish_role("rtpb", "replica0", 5)
+    service.unpublish_role("rtpb", "replica0")
+    service.unpublish_role("rtpb", "replica0")
+    service.unpublish_role("ghost", "replica0")
+    assert service.lookup_roles("rtpb") == []
+    composite = f"rtpb{ROLE_SEPARATOR}replica0"
+    assert service.changes == [(0.0, composite, 5),
+                               (0.0, composite, UNPUBLISHED)]
+
+
+def test_republish_role_overwrites_in_place():
+    service = NameService(Simulator())
+    service.publish_role("rtpb", "replica0", 5)
+    service.publish_role("rtpb", "replica0", 7)
+    assert service.lookup_roles("rtpb") == [("replica0", 7)]
+
+
+def test_role_names_may_not_contain_the_separator():
+    service = NameService(Simulator())
+    with pytest.raises(ValueError, match="#"):
+        service.publish_role("rtpb", "replica#0", 5)
+    with pytest.raises(ValueError, match="#"):
+        service.publish_role("rt#pb", "replica0", 5)
+
+
+def test_liveness_probe_filters_role_entries_by_composite_name():
+    from repro.core.name_service import ROLE_SEPARATOR
+
+    service = NameService(Simulator())
+    service.publish_role("rtpb", "replica0", 5)
+    service.publish_role("rtpb", "replica1", 6)
+    dead = f"rtpb{ROLE_SEPARATOR}replica0"
+    service.set_liveness_probe(lambda name, address: name != dead)
+    # Stale role entries are dropped silently (no raise): consumers always
+    # have the primary entry to fall back on.
+    assert service.lookup_roles("rtpb") == [("replica1", 6)]
+
+
 def test_liveness_probe_guards_lookup_but_not_peek():
     # Regression for the stale-entry guard: with a probe installed, a dead
     # entry raises on lookup while peek still shows the raw name file.

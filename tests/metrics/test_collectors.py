@@ -270,3 +270,101 @@ def test_no_failover_yields_empty_and_none():
     service = synthetic_service()
     assert failover_latencies(service) == []
     assert failover_latency(service) is None
+
+
+# ---------------------------------------------------------------------------
+# Tail percentiles and NaN-tolerant stats equality
+# ---------------------------------------------------------------------------
+
+
+def test_summarize_tail_percentiles_on_large_sample():
+    values = [float(v) for v in range(1, 1001)]
+    stats = summarize(values)
+    assert stats.p50 == pytest.approx(500.0)
+    assert stats.p99 == pytest.approx(990.0)
+    assert stats.p999 == pytest.approx(999.0)
+    assert stats.maximum == pytest.approx(1000.0)
+
+
+def test_empty_summary_stats_compare_equal_despite_nan_fields():
+    # Serial-vs-parallel outcome comparison relies on this: NaN != NaN
+    # would make two structurally identical empty summaries unequal.
+    assert SummaryStats.empty() == SummaryStats.empty()
+    assert hash(SummaryStats.empty()) == hash(SummaryStats.empty())
+    assert SummaryStats.empty() != summarize([1.0])
+    assert summarize([1.0, 2.0]) == summarize([1.0, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# Read-path collectors on a hand-built trace
+# ---------------------------------------------------------------------------
+
+
+def read_path_service():
+    from repro.sim.trace import TraceRecord as TR
+
+    service = synthetic_service()
+    ingest_all(service.trace, [
+        TR(1.0, "read_served", {"object": 0, "server": "replica0",
+                                "service": "rtpb", "issue": 1.0,
+                                "response": 0.001, "staleness": 0.05,
+                                "bound": 0.3}),
+        TR(2.0, "read_served", {"object": 0, "server": "replica0",
+                                "service": "rtpb", "issue": 2.0,
+                                "response": 0.002, "staleness": 0.25,
+                                "bound": 0.3}),
+        # A violation (never produced by real replicas; audit must count it).
+        TR(3.0, "read_served", {"object": 0, "server": "replica0",
+                                "service": "rtpb", "issue": 3.0,
+                                "response": 0.001, "staleness": 0.4,
+                                "bound": 0.3}),
+        # Primary-served fallback read; infinite staleness (never written).
+        TR(4.0, "read_fallback", {"object": 0, "client": "reader",
+                                  "service": "rtpb"}),
+        TR(4.0, "client_read", {"object": 0, "server": "primary",
+                                "issue": 4.0, "response": 0.001,
+                                "staleness": float("inf")}),
+    ])
+    return service
+
+
+def test_read_staleness_excludes_infinite_samples():
+    from repro.metrics.collectors import (
+        read_staleness_stats,
+        read_staleness_values,
+    )
+
+    service = read_path_service()
+    assert read_staleness_values(service) == [0.05, 0.25, 0.4]
+    assert read_staleness_stats(service).count == 3
+    # The start filter gates on issue time.
+    assert read_staleness_values(service, start=1.5) == [0.25, 0.4]
+
+
+def test_read_throughput_counts_both_tiers():
+    from repro.metrics.collectors import read_throughput, reads_served_count
+
+    service = read_path_service()
+    assert reads_served_count(service) == 4  # 3 replica + 1 primary
+    assert read_throughput(service, horizon=5.0, start=1.0) == pytest.approx(
+        4 / 4.0)
+    assert read_throughput(service, horizon=1.0, start=1.0) == 0.0
+
+
+def test_read_slo_violations_counts_only_over_bound_replica_reads():
+    from repro.metrics.collectors import read_slo_violations
+
+    service = read_path_service()
+    assert read_slo_violations(service) == 1
+    assert read_slo_violations(service, objects=[7]) == 0
+
+
+def test_primary_fallback_rate_weighs_fallbacks_against_replica_reads():
+    from repro.metrics.collectors import primary_fallback_rate
+
+    service = read_path_service()
+    # 1 fallback vs 3 replica-served reads.
+    assert primary_fallback_rate(service) == pytest.approx(0.25)
+    # With no read traffic at all the rate is 0, not NaN.
+    quiet = synthetic_service()
+    assert primary_fallback_rate(quiet) == 0.0

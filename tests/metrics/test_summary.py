@@ -55,3 +55,27 @@ def test_summary_with_no_responses_shows_dashes():
     summary = summarize_run(service, horizon=1.0, warmup=0.0)
     assert summary.response.count == 0
     assert "-" in summary.render()
+
+
+def test_summary_table_includes_tail_percentile_rows():
+    service = build_scenario(Scenario(n_objects=2, horizon=4.0, seed=4))
+    service.run(4.0)
+    rendered = summarize_run(service, horizon=4.0).render()
+    assert "p99 response (ms)" in rendered
+    assert "p999 response (ms)" in rendered
+    # No readers ran: the read block stays out of the table entirely.
+    assert "read staleness" not in rendered
+
+
+def test_summary_read_block_appears_when_readers_ran():
+    scenario = Scenario(n_objects=2, horizon=4.0, seed=4, n_replicas=1,
+                        read_period=ms(10.0))
+    service = build_scenario(scenario)
+    service.run(4.0)
+    summary = summarize_run(service, horizon=4.0)
+    assert summary.read_staleness.count > 0
+    rendered = summary.render()
+    assert "p50 read staleness (ms)" in rendered
+    assert "p99 read staleness (ms)" in rendered
+    assert "p999 read staleness (ms)" in rendered
+    assert "primary fallback rate" in rendered

@@ -1,0 +1,97 @@
+"""ReaderClient: closed-loop issue discipline, fallback, and starvation."""
+
+from repro.core.service import RTPBService
+from repro.core.spec import ServiceConfig
+from repro.metrics.collectors import primary_fallback_rate, read_slo_violations
+from repro.replicas.reader import LEASE_PERIODS, ReaderClient
+from repro.replicas.router import ReadRouter
+from repro.units import ms
+from repro.workload.generator import homogeneous_specs
+from repro.workload.scenarios import Scenario, build_scenario
+
+
+def find_reader(service):
+    for extension in service.extensions:
+        if isinstance(extension, ReaderClient):
+            return extension
+        readers = getattr(extension, "readers", None)
+        if readers:
+            return readers[0]
+    raise AssertionError("no reader attached")
+
+
+def test_zero_replica_baseline_falls_back_on_every_read():
+    scenario = Scenario(n_objects=2, horizon=4.0, seed=3,
+                        read_period=ms(10.0))
+    service = build_scenario(scenario)
+    service.run(scenario.horizon)
+    reader = find_reader(service)
+    assert reader.reads_issued > 0
+    assert reader.reads_fallback == reader.reads_issued
+    assert reader.reads_unserved == 0
+    assert primary_fallback_rate(service) == 1.0
+    assert service.trace.select("client_read")
+    assert not service.trace.select("read_served")
+
+
+def test_replica_tier_serves_without_slo_violations():
+    scenario = Scenario(n_objects=2, horizon=6.0, seed=3, n_replicas=2,
+                        read_period=ms(10.0))
+    service = build_scenario(scenario)
+    service.run(scenario.horizon)
+    reader = find_reader(service)
+    assert reader.reads_completed > 0
+    assert service.trace.select("read_served")
+    assert read_slo_violations(service) == 0
+    # Warm steady state: the replica tier carries (nearly) all traffic.
+    assert primary_fallback_rate(service, start=2.0) < 0.05
+
+
+def test_lease_bounds_the_wait_on_a_lost_reply():
+    scenario = Scenario(n_objects=1, horizon=4.0, seed=3,
+                        read_period=ms(10.0))
+    service = build_scenario(scenario)
+    reader = find_reader(service)
+
+    def lose_a_reply():
+        # Model a reply that will never arrive: an outstanding entry with
+        # no completion callback pending anywhere.
+        reader._outstanding[0] = service.sim.now
+
+    service.sim.schedule(1.0, lose_a_reply)
+    service.run(scenario.horizon)
+    # The loop skipped while the lease ran (~LEASE_PERIODS ticks), then
+    # resumed issuing for the rest of the horizon.
+    assert reader.reads_skipped >= LEASE_PERIODS - 2
+    assert reader.reads_skipped <= LEASE_PERIODS + 2
+    assert not reader._outstanding
+    issued_late = [record.time for record in
+                   service.trace.select("read_fallback", object=0)
+                   if record.time > 1.0 + (LEASE_PERIODS + 2) * ms(10.0)]
+    assert issued_late, "loop never resumed after the lease expired"
+
+
+def test_reads_are_unserved_when_nobody_can_serve():
+    service = RTPBService(seed=6,
+                          config=ServiceConfig(failover_enabled=False))
+    specs = homogeneous_specs(2, window=ms(200), client_period=ms(100))
+    service.register_all(specs)
+    service.create_client(specs)
+    router = ReadRouter(
+        service.sim, service.name_service, service.service_name,
+        resolver=lambda _address: None, config=service.config,
+        fabric=service.fabric)
+    reader = ReaderClient(
+        service.sim, service.name_service, service.service_name,
+        router=router, resolver=service.resolve_server, specs=specs,
+        read_period=ms(10.0))
+    service.extensions.append(reader)
+    service.start()
+    # No replicas, failover disabled: once the primary dies the name file
+    # keeps pointing at a dead address and every read is unservable.
+    service.injector.crash_at(1.0, service.primary_server)
+    service.run(2.0)
+    assert reader.reads_unserved > 0
+    assert service.trace.select("read_unserved")
+    # Unserved reads release the closed loop immediately (no lease wait).
+    assert reader.reads_skipped == 0

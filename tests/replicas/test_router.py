@@ -1,0 +1,123 @@
+"""Routing-policy unit tests on hand-positioned replica state.
+
+Each test pins the router's inputs directly — advertised snapshots,
+in-flight counters, link distances — so the policy choice is a pure
+deterministic function under test, not an emergent property of a run.
+"""
+
+import pytest
+
+from repro.core.service import RTPBService
+from repro.errors import ReplicationError
+from repro.replicas.router import POLICIES, ReadRouter
+from repro.replicas.single import ReplicaExtension
+from repro.units import ms
+from repro.workload.generator import homogeneous_specs, spec_for_window
+
+
+def make_env(n_replicas=3, seed=6):
+    service = RTPBService(seed=seed)
+    specs = homogeneous_specs(1, window=ms(200), client_period=ms(100))
+    service.register_all(specs)
+    extension = ReplicaExtension(service, n_replicas)
+    service.start()
+    # Every replica starts routable: a just-advertised fresh sample.
+    for replica in extension.replicas:
+        replica.advertised[0] = service.sim.now
+    return service, extension, specs[0]
+
+
+def router_for(service, extension, policy, **kwargs):
+    return ReadRouter(
+        service.sim, service.name_service, service.service_name,
+        resolver=extension.resolve_replica, config=service.config,
+        policy=policy, fabric=service.fabric, **kwargs)
+
+
+def test_unknown_policy_raises():
+    service, extension, _spec = make_env(n_replicas=1)
+    assert "bogus" not in POLICIES
+    with pytest.raises(ReplicationError, match="bogus"):
+        router_for(service, extension, "bogus")
+
+
+def test_round_robin_rotates_in_address_order():
+    service, extension, spec = make_env()
+    router = router_for(service, extension, "round_robin")
+    picks = [router.route(spec) for _ in range(6)]
+    ordered = sorted(extension.replicas, key=lambda r: r.host.address)
+    assert picks == ordered * 2
+    assert router.routed == 6
+    assert router.unroutable == 0
+
+
+def test_freshest_picks_the_lowest_advertised_staleness():
+    service, extension, spec = make_env()
+    now = service.sim.now
+    extension.replicas[0].advertised[0] = now - ms(50)
+    extension.replicas[1].advertised[0] = now - ms(5)
+    extension.replicas[2].advertised[0] = now - ms(20)
+    router = router_for(service, extension, "freshest")
+    assert router.route(spec) is extension.replicas[1]
+
+
+def test_least_loaded_picks_fewest_inflight_reads():
+    service, extension, spec = make_env()
+    extension.replicas[0].reads_inflight = 3
+    extension.replicas[1].reads_inflight = 1
+    extension.replicas[2].reads_inflight = 0
+    router = router_for(service, extension, "least_loaded")
+    assert router.route(spec) is extension.replicas[2]
+    # Ties break to the lowest address.
+    extension.replicas[2].reads_inflight = 1
+    extension.replicas[0].reads_inflight = 1
+    ordered = sorted(extension.replicas, key=lambda r: r.host.address)
+    assert router.route(spec) is ordered[0]
+
+
+def test_nearest_minimises_link_distance_from_the_primary():
+    service, extension, spec = make_env()
+    origin = service.name_service.peek(service.service_name)
+    assert origin is not None
+    fabric = service.fabric
+    fabric.set_link_distance(origin, extension.replicas[0].host.address,
+                             ms(5.0))
+    fabric.set_link_distance(origin, extension.replicas[1].host.address,
+                             ms(1.0))
+    fabric.set_link_distance(origin, extension.replicas[2].host.address,
+                             ms(3.0))
+    router = router_for(service, extension, "nearest")
+    assert router.route(spec) is extension.replicas[1]
+    # An explicit locality overrides the primary vantage point: from the
+    # farthest replica's own host, itself (distance 0) wins.
+    mine = extension.replicas[0].host.address
+    router = router_for(service, extension, "nearest", locality=mine)
+    assert router.route(spec) is extension.replicas[0]
+
+
+def test_stale_advertisements_disqualify_candidates():
+    service, extension, spec = make_env()
+    now = service.sim.now
+    # Staleness + headroom beyond δ^B: provably unable to honour the bound.
+    for replica in extension.replicas:
+        replica.advertised[0] = now - spec.delta_backup
+    router = router_for(service, extension, "round_robin")
+    assert router.route(spec) is None
+    assert router.unroutable == 1
+
+
+def test_dead_replicas_are_filtered_out():
+    service, extension, spec = make_env()
+    ordered = sorted(extension.replicas, key=lambda r: r.host.address)
+    ordered[1].crash()
+    router = router_for(service, extension, "round_robin")
+    picks = {router.route(spec) for _ in range(4)}
+    assert picks == {ordered[0], ordered[2]}
+
+
+def test_unadvertised_object_is_unroutable():
+    service, extension, _spec = make_env()
+    foreign = spec_for_window(7, window=ms(200), client_period=ms(100))
+    router = router_for(service, extension, "freshest")
+    assert router.route(foreign) is None
+    assert router.unroutable == 1
