@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.sim.engine import Simulator
@@ -534,4 +535,40 @@ def failover_latency_bench(quick: bool) -> BenchStats:
         extra={"latencies_ms": [round(latency * 1e3, 3)
                                 if latency is not None else None
                                 for latency in latencies]},
+    )
+
+
+@register("lint_full_run")
+def lint_full_run(quick: bool) -> BenchStats:
+    """Whole-program analyzer pass over the library tree itself.
+
+    Measures the two-phase pipeline end to end — parse + project indexing,
+    then every per-file and project rule — so ``events_executed`` counts
+    analyzed files and the standard throughput column reads as files/sec.
+    The digest fingerprints the finding list with paths relativized to the
+    package root, so it is machine-independent and (the tree being dogfood-
+    clean) pins "no findings" as a revision-stable fact.  Both modes take
+    the whole library: the cross-module PROTO rules are only meaningful on
+    a closed tree (a subtree scan misses the senders/handlers living in
+    sibling packages), and the full pass is comfortably inside the quick
+    budget anyway.
+    """
+    import repro
+    from repro.lint import iter_python_files, lint_paths
+    from repro.metrics.jsonio import stable_dumps
+
+    package_root = Path(repro.__file__).resolve().parent
+    roots = [package_root]
+    files = iter_python_files(roots)
+    findings = lint_paths(roots)
+    prefix = package_root.as_posix().rsplit("/", 1)[0] + "/"
+    rows = [{"path": finding.path.replace(prefix, "", 1),
+             "line": finding.line, "col": finding.col,
+             "rule": finding.rule, "message": finding.message}
+            for finding in findings]
+    return BenchStats(
+        events_executed=len(files),
+        digest=hashlib.sha256(
+            stable_dumps(rows).encode("utf-8")).hexdigest(),
+        extra={"files": len(files), "findings": len(findings)},
     )

@@ -1,12 +1,16 @@
-"""AST-based determinism & real-time-safety linter (``python -m repro.lint``).
+"""Whole-program determinism, protocol-conformance & real-time-safety
+analyzer (``python -m repro.lint``, also the ``repro-lint`` console script).
 
 The reproduction's guarantees — byte-identical chaos reports, stable trace
 digests, exact virtual-time instants for the paper's temporal-consistency
-windows — rest on a determinism contract: no wall clock, no unseeded
-randomness, no order-unstable iteration feeding the tracer.  This package
-enforces that contract mechanically; see ``docs/LINT.md`` for the rule
-catalogue, the ``# lint: disable=RULE`` suppression syntax, and the
-baseline workflow.
+windows — rest on a determinism contract (no wall clock, no unseeded
+randomness, no order-unstable iteration feeding the tracer) and on
+cross-module protocol contracts (every message type sent is handled, every
+published role resolvable, timestamp units never mixed).  This package
+enforces both mechanically in a two-phase run: per-file rules over each
+parsed module, then whole-program rules over a :class:`ProjectModel`.  See
+``docs/LINT.md`` for the rule catalogue, the ``# lint: disable=RULE``
+suppression syntax, SARIF output, and the baseline workflow.
 
 Public API::
 
@@ -21,17 +25,26 @@ from repro.lint.engine import (DEFAULT_EXCLUDED_PARTS, SYNTAX_CODE,
                                iter_python_files, lint_paths, lint_source,
                                select_rules)
 from repro.lint.finding import Finding
-from repro.lint.registry import Rule, all_rules, get_rule, known_codes, register
+from repro.lint.project import ModuleInfo, ProjectModel, module_name_for
+from repro.lint.registry import (ProjectRule, Rule, all_rules, get_rule,
+                                 known_codes, register)
+from repro.lint.sarif import sarif_document
 from repro.lint.suppress import META_CODE, Suppressions
+from repro.lint.symbols import ClassInfo, SymbolTable
 
 __all__ = [
     "Baseline",
+    "ClassInfo",
     "DEFAULT_EXCLUDED_PARTS",
     "FileContext",
     "Finding",
     "META_CODE",
+    "ModuleInfo",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
     "SYNTAX_CODE",
+    "SymbolTable",
     "Suppressions",
     "all_rules",
     "get_rule",
@@ -39,6 +52,8 @@ __all__ = [
     "known_codes",
     "lint_paths",
     "lint_source",
+    "module_name_for",
     "register",
+    "sarif_document",
     "select_rules",
 ]

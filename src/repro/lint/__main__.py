@@ -1,12 +1,13 @@
-"""Determinism & real-time-safety linter CLI: ``python -m repro.lint``.
+"""Determinism & real-time-safety analyzer CLI: ``python -m repro.lint``.
 
-Examples::
+Also installed as the ``repro-lint`` console script.  Examples::
 
-    python -m repro.lint                     # lint src and tests
-    python -m repro.lint src --format json   # machine-readable report
-    python -m repro.lint --rules             # rule catalogue
-    python -m repro.lint --select TR001 src  # one rule only
-    python -m repro.lint --update-baseline   # grandfather current findings
+    python -m repro.lint                      # analyze src and tests
+    python -m repro.lint src --output json    # machine-readable report
+    python -m repro.lint src --output sarif   # SARIF for CI annotations
+    python -m repro.lint --rules              # rule catalogue
+    python -m repro.lint --select PROTO001 src  # one rule only
+    python -m repro.lint --update-baseline    # grandfather current findings
 
 Exit status: 0 clean (or fully baselined), 1 findings, 2 usage error.
 """
@@ -21,6 +22,7 @@ from typing import List, Optional
 from repro.lint.baseline import Baseline
 from repro.lint.engine import lint_paths, select_rules
 from repro.lint.registry import all_rules
+from repro.lint.sarif import sarif_document
 from repro.metrics.jsonio import stable_dumps
 
 DEFAULT_BASELINE = Path("lint-baseline.json")
@@ -29,12 +31,15 @@ DEFAULT_BASELINE = Path("lint-baseline.json")
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description=("AST-based determinism and real-time-safety linter "
-                     "for the RTPB reproduction."))
+        description=("Whole-program determinism, protocol-conformance and "
+                     "real-time-safety analyzer for the RTPB "
+                     "reproduction."))
     parser.add_argument("paths", nargs="*", default=None,
                         help="files or directories (default: src tests)")
-    parser.add_argument("--format", choices=("human", "json"),
-                        default="human", help="report format")
+    parser.add_argument("--output", "--format", dest="output",
+                        choices=("human", "json", "sarif"),
+                        default="human",
+                        help="report format (sarif feeds CI annotations)")
     parser.add_argument("--select", default=None, metavar="CODES",
                         help="comma-separated rule codes to run "
                              "(default: all)")
@@ -85,7 +90,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     baseline = None if args.no_baseline else Baseline.load(args.baseline)
     findings = lint_paths(paths, rules=rules, baseline=baseline)
 
-    if args.format == "json":
+    if args.output == "json":
         report = {
             "findings": findings,
             "count": len(findings),
@@ -93,6 +98,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "baseline": None if baseline is None else len(baseline),
         }
         print(stable_dumps(report))
+    elif args.output == "sarif":
+        print(stable_dumps(sarif_document(findings, rules)))
     else:
         for finding in findings:
             print(finding.render())

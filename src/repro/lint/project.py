@@ -1,0 +1,272 @@
+"""The project model: a one-pass whole-program index for lint rules.
+
+Phase one of the two-phase analysis run.  Every file is parsed exactly once
+(into the same :class:`~repro.lint.context.FileContext` the per-file rules
+receive) and indexed into:
+
+* a **module graph** — dotted module names derived from paths, with the
+  modules each one imports (relative imports resolved);
+* a **symbol table** (:class:`~repro.lint.symbols.SymbolTable`) — classes,
+  attributes, dataclass/message markers, module constants;
+* an approximate **call/send graph** — where each project class is
+  constructed, where it is dispatched on (``isinstance``, ``match``/``case``,
+  typed ``_handle_*`` parameters), and every call site indexed by its
+  terminal callee name (``publish_role``, ``record``, ...).
+
+The model is deliberately an *over*-approximation built from syntax alone —
+no imports are executed — and is deterministic: indexing the same tree twice
+yields identical contents, which is what keeps the analyzer's JSON output
+byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (Dict, Iterator, List, Optional, Sequence, Tuple,
+                    TypeGuard, Union)
+
+from repro.lint.context import FileContext
+from repro.lint.symbols import ClassInfo, SymbolTable
+
+#: Function-name prefixes that mark a message handler by convention; a
+#: parameter annotation on one of these counts as dispatching that type.
+HANDLER_PREFIXES = ("_handle", "_on_", "handle_", "on_")
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a POSIX-style ``path``.
+
+    Anchored at the *last* ``src`` component (``src/repro/core/server.py``
+    -> ``repro.core.server``) so fixture mini-packages that embed their own
+    ``src/repro`` work identically; paths without a ``src`` anchor (tests,
+    scripts) fall back to the full dotted path.  ``__init__.py`` names the
+    package itself.
+    """
+    parts = [part for part in path.split("/") if part not in ("", ".")]
+    anchors = [index for index, part in enumerate(parts) if part == "src"]
+    if anchors:
+        parts = parts[anchors[-1] + 1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else path
+
+
+@dataclass(frozen=True)
+class Site:
+    """One interesting occurrence: a node in a given module/file."""
+
+    module: str
+    path: str
+    node: ast.AST
+
+    def sort_key(self) -> Tuple[str, int, int]:
+        return (self.path,
+                getattr(self.node, "lineno", 1),
+                getattr(self.node, "col_offset", 0))
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the project."""
+
+    name: str
+    ctx: FileContext
+    #: Dotted modules this one imports (relative imports resolved).
+    imports: Tuple[str, ...] = ()
+    #: Whether the module is library code (``ctx.in_src``).
+    in_src: bool = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.in_src = self.ctx.in_src
+
+
+def _resolve_relative(module: str, is_package: bool, level: int,
+                      target: Optional[str]) -> Optional[str]:
+    """Absolute dotted name for a level-``level`` relative import."""
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop > len(parts):
+        return None
+    base = parts[:len(parts) - drop]
+    if target:
+        base = base + target.split(".")
+    return ".".join(base) if base else None
+
+
+def _module_imports(name: str, ctx: FileContext) -> Tuple[str, ...]:
+    is_package = ctx.path.endswith("__init__.py")
+    imports: List[str] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            imports.extend(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                resolved = _resolve_relative(name, is_package, node.level,
+                                             node.module)
+                if resolved is not None:
+                    imports.append(resolved)
+            elif node.module is not None:
+                imports.append(node.module)
+    return tuple(sorted(set(imports)))
+
+
+def _terminal_callee(func: ast.expr) -> Optional[str]:
+    """Terminal identifier of a call target: ``a.b.record`` -> ``record``."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _is_handler(
+        func: ast.AST,
+) -> TypeGuard[Union[ast.FunctionDef, ast.AsyncFunctionDef]]:
+    return isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+        and func.name.startswith(HANDLER_PREFIXES)
+
+
+class ProjectModel:
+    """Everything phase two's project rules may query."""
+
+    def __init__(self, contexts: Sequence[FileContext]) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_path: Dict[str, ModuleInfo] = {}
+        self.symbols = SymbolTable()
+        #: Class qualname -> construction call sites.
+        self.constructions: Dict[str, List[Site]] = {}
+        #: Class qualname -> dispatch sites (isinstance / match / handler
+        #: annotation).
+        self.dispatches: Dict[str, List[Site]] = {}
+        #: Terminal callee name -> call sites, across every module.
+        self.calls_by_name: Dict[str, List[Site]] = {}
+
+        for ctx in sorted(contexts, key=lambda item: item.path):
+            name = module_name_for(ctx.path)
+            if ctx.path in self.by_path:
+                continue
+            info = ModuleInfo(name=name, ctx=ctx,
+                              imports=_module_imports(name, ctx))
+            # Path collisions cannot happen (sorted unique paths); dotted-
+            # name collisions keep the first path in `modules` but every
+            # file stays reachable through `by_path`.
+            self.modules.setdefault(name, info)
+            self.by_path[ctx.path] = info
+            self.symbols.add_module(name, ctx)
+        for info in self.iter_modules():
+            self._index_module(info)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def iter_modules(self) -> Iterator[ModuleInfo]:
+        """Every module, ordered by path (deterministic rule output)."""
+        for path in sorted(self.by_path):
+            yield self.by_path[path]
+
+    def import_graph(self) -> Dict[str, Tuple[str, ...]]:
+        """Module name -> imported *project* modules (external ones dropped)."""
+        known = set(self.modules)
+        graph: Dict[str, Tuple[str, ...]] = {}
+        for info in self.iter_modules():
+            graph[info.name] = tuple(
+                target for target in info.imports if target in known)
+        return graph
+
+    def message_classes(self) -> List[ClassInfo]:
+        """Every project class carrying wire-protocol ``TYPE`` tags."""
+        return [self.symbols.classes[qualname]
+                for qualname in sorted(self.symbols.classes)
+                if self.symbols.classes[qualname].is_message]
+
+    def constructed_outside(self, info: ClassInfo) -> List[Site]:
+        """Construction sites outside the class's defining module.
+
+        The defining module's own constructions (codec round-trips like
+        ``decode_message``) do not count as "someone sends this".
+        """
+        return [site for site in self.constructions.get(info.qualname, [])
+                if site.module != info.module]
+
+    def dispatched_outside(self, info: ClassInfo) -> List[Site]:
+        """Dispatch sites outside the defining module (real handlers)."""
+        return [site for site in self.dispatches.get(info.qualname, [])
+                if site.module != info.module]
+
+    def calls(self, terminal_name: str) -> List[Site]:
+        """Every call whose terminal callee name is ``terminal_name``."""
+        return self.calls_by_name.get(terminal_name, [])
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def _index_module(self, info: ModuleInfo) -> None:
+        ctx = info.ctx
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                self._index_call(info, node)
+            elif isinstance(node, ast.Match):
+                self._index_match(info, node)
+            elif _is_handler(node):
+                self._index_handler(info, node)
+
+    def _record(self, table: Dict[str, List[Site]], key: str,
+                site: Site) -> None:
+        bucket = table.setdefault(key, [])
+        bucket.append(site)
+        bucket.sort(key=Site.sort_key)
+
+    def _index_call(self, info: ModuleInfo, node: ast.Call) -> None:
+        terminal = _terminal_callee(node.func)
+        site = Site(module=info.name, path=info.ctx.path, node=node)
+        if terminal is not None:
+            self._record(self.calls_by_name, terminal, site)
+        if terminal == "isinstance" and isinstance(node.func, ast.Name) \
+                and len(node.args) == 2:
+            targets = node.args[1].elts \
+                if isinstance(node.args[1], ast.Tuple) else [node.args[1]]
+            for target in targets:
+                resolved = self.symbols.resolve_class(info.ctx, info.name,
+                                                      target)
+                if resolved is not None:
+                    self._record(self.dispatches, resolved.qualname,
+                                 Site(module=info.name, path=info.ctx.path,
+                                      node=target))
+            return
+        resolved = self.symbols.resolve_class(info.ctx, info.name, node.func)
+        if resolved is not None:
+            self._record(self.constructions, resolved.qualname, site)
+
+    def _index_match(self, info: ModuleInfo, node: ast.Match) -> None:
+        for case in node.cases:
+            for pattern in ast.walk(case.pattern):
+                if not isinstance(pattern, ast.MatchClass):
+                    continue
+                resolved = self.symbols.resolve_class(info.ctx, info.name,
+                                                      pattern.cls)
+                if resolved is not None:
+                    self._record(self.dispatches, resolved.qualname,
+                                 Site(module=info.name, path=info.ctx.path,
+                                      node=pattern.cls))
+
+    def _index_handler(
+            self, info: ModuleInfo,
+            node: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> None:
+        args = list(node.args.posonlyargs) + list(node.args.args) \
+            + list(node.args.kwonlyargs)
+        for arg in args:
+            if arg.annotation is None:
+                continue
+            resolved = self.symbols.resolve_class(info.ctx, info.name,
+                                                  arg.annotation)
+            if resolved is not None:
+                self._record(self.dispatches, resolved.qualname,
+                             Site(module=info.name, path=info.ctx.path,
+                                  node=arg.annotation))

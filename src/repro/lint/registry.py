@@ -20,10 +20,13 @@ it to reject ``# lint: disable=TYPO01`` comments.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Type
 
 from repro.lint.context import FileContext
 from repro.lint.finding import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.project import ProjectModel
 
 
 class Rule:
@@ -42,6 +45,32 @@ class Rule:
                 message: str) -> Finding:
         """Shorthand for ``ctx.finding(self.code, node, message)``."""
         return ctx.finding(self.code, node, message)
+
+
+class ProjectRule(Rule):
+    """A whole-program rule, run once per analysis over the project model.
+
+    Phase one of the engine parses every file and builds a
+    :class:`~repro.lint.project.ProjectModel`; phase two calls
+    :meth:`check_project` exactly once.  Findings still carry per-file
+    locations, so inline suppressions and the baseline apply unchanged.
+    ``check`` is a deliberate no-op — project rules see files only through
+    the model.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "ProjectModel") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(self, path: str, node: ast.AST,
+                        message: str) -> Finding:
+        """Build a finding at ``node`` in the file at ``path``."""
+        return Finding(path=path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       rule=self.code, message=message)
 
 
 _RULES: Dict[str, Rule] = {}

@@ -1,0 +1,347 @@
+"""Flow-aware determinism/race rules (RACE001–RACE003) — whole-program.
+
+Simulation callbacks are the concurrency model here: every scheduled event
+and delivered message runs some method against shared object state, and the
+run's auditability (byte-identical digests, Theorem-5 window checks) assumes
+those interleavings never observe host-dependent order.  DET003 catches
+iteration over a literal set *expression*; this family follows the data:
+
+* **RACE001** — an unordered set value bound to a *name* (assignment or
+  parameter annotation) whose iteration feeds a deterministic sink
+  (``schedule``, ``send``, ``record``, ...).  Hash order then reaches the
+  event queue or the trace — the exact leak the digests gate.
+* **RACE002** — a class-level mutable container mutated from two or more
+  callback contexts (methods), including subclass methods in other
+  modules.  Class attributes are shared across every instance: two
+  servers "remembering" into the same list is a cross-replica race.
+* **RACE003** — a mutable default argument (or a mutable dataclass-field
+  default) — the one-object-per-*definition* trap; spec/scenario/message
+  dataclasses built once and reused across sweep points make it a
+  cross-run race.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Union
+
+from repro.lint.context import FileContext
+from repro.lint.finding import Finding
+from repro.lint.project import ModuleInfo, ProjectModel
+from repro.lint.registry import ProjectRule, register
+from repro.lint.symbols import is_mutable_value
+
+AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Terminal callee names whose arguments/bodies must see deterministic
+#: order: the event queue, the fabric, and the trace.
+DETERMINISTIC_SINKS = frozenset({
+    "schedule", "send", "record", "publish", "publish_role", "push", "emit",
+})
+
+#: Set-returning callables (iteration order is hash order).
+_SET_CALLS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+#: Annotations naming an unordered set type.
+_SET_ANNOTATIONS = frozenset({
+    "set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet",
+    "typing.Set", "typing.FrozenSet", "typing.AbstractSet",
+    "typing.MutableSet",
+})
+#: Calls that impose an order (assigning their result clears the taint).
+_ORDERING_CALLS = frozenset({"sorted", "list", "tuple"})
+
+#: Method calls that mutate a container in place.
+MUTATOR_METHODS = frozenset({
+    "append", "add", "extend", "insert", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "appendleft", "extendleft",
+})
+
+
+def _is_set_expr(node: ast.AST, ctx: FileContext) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        qualified = ctx.qualified_name(node.func)
+        if qualified in _SET_CALLS:
+            return True
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _SET_METHODS:
+            return True
+    return False
+
+
+def _is_set_annotation(node: ast.AST, ctx: FileContext) -> bool:
+    target: ast.AST = node
+    if isinstance(node, ast.Subscript):  # set[int], Set[str]
+        target = node.value
+    qualified = ctx.qualified_name(target)
+    return qualified in _SET_ANNOTATIONS
+
+
+def _functions(tree: ast.Module) -> Iterator[AnyFunc]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _unordered_names(func: AnyFunc, ctx: FileContext) -> Set[str]:
+    """Names bound to unordered set values anywhere in ``func``.
+
+    Flow-insensitive by design: a name counts while *any* binding is a set
+    and *no* binding funnels it through ``sorted``/``list``/``tuple`` —
+    rebinding to an ordered form anywhere absolves every use, which keeps
+    the rule on the quiet side of approximate.
+    """
+    tainted: Set[str] = set()
+    cleared: Set[str] = set()
+    args = func.args
+    for arg in (list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)):
+        if arg.annotation is not None \
+                and _is_set_annotation(arg.annotation, ctx):
+            tainted.add(arg.arg)
+    for node in ast.walk(func):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+            if _is_set_annotation(node.annotation, ctx) \
+                    and isinstance(node.target, ast.Name):
+                tainted.add(node.target.id)
+        if value is None:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if _is_set_expr(value, ctx):
+                tainted.add(target.id)
+            elif isinstance(value, ast.Call) \
+                    and ctx.qualified_name(value.func) in _ORDERING_CALLS:
+                cleared.add(target.id)
+    return tainted - cleared
+
+
+def _has_sink_call(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            func = child.func
+            terminal = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None)
+            if terminal in DETERMINISTIC_SINKS:
+                return True
+    return False
+
+
+@register
+class UnorderedFlowRule(ProjectRule):
+    """RACE001 — unordered set iteration flowing into a deterministic sink.
+
+    Two shapes fire: a ``for`` loop over a set-valued name whose body
+    reaches a sink call, and a comprehension over a set-valued name used
+    inside a sink call's arguments.  ``for x in sorted(peers)`` never
+    fires — the iteration target is an ordering call, not the tainted
+    name.  Library code only.
+    """
+
+    code = "RACE001"
+    summary = ("iteration over a set-valued name feeds schedule/send/"
+               "trace; wrap the iteration in sorted(...)")
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        for info in project.iter_modules():
+            if not info.in_src:
+                continue
+            yield from self._check_module(info)
+
+    def _check_module(self, info: ModuleInfo) -> Iterator[Finding]:
+        ctx = info.ctx
+        for func in _functions(ctx.tree):
+            tainted = _unordered_names(func, ctx)
+            if not tainted:
+                continue
+            for node in ast.walk(func):
+                if isinstance(node, (ast.For, ast.AsyncFor)) \
+                        and isinstance(node.iter, ast.Name) \
+                        and node.iter.id in tainted:
+                    body = ast.Module(body=node.body, type_ignores=[])
+                    if _has_sink_call(body):
+                        yield self.project_finding(
+                            ctx.path, node.iter,
+                            f"iterating set-valued {node.iter.id!r} feeds "
+                            f"a schedule/send/trace sink; hash order "
+                            f"reaches the run — iterate sorted("
+                            f"{node.iter.id}) instead")
+                elif isinstance(node, ast.Call):
+                    func_node = node.func
+                    terminal = func_node.attr \
+                        if isinstance(func_node, ast.Attribute) else (
+                            func_node.id
+                            if isinstance(func_node, ast.Name) else None)
+                    if terminal not in DETERMINISTIC_SINKS:
+                        continue
+                    for child in ast.walk(node):
+                        if isinstance(child, ast.comprehension) \
+                                and isinstance(child.iter, ast.Name) \
+                                and child.iter.id in tainted:
+                            yield self.project_finding(
+                                ctx.path, child.iter,
+                                f"comprehension over set-valued "
+                                f"{child.iter.id!r} inside a {terminal}() "
+                                f"call bakes hash order into the run; "
+                                f"iterate sorted({child.iter.id}) instead")
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.x`` -> ``"x"``; anything else -> ``None``."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _method_mutations(method: AnyFunc) -> Set[str]:
+    """``self.X`` attributes this method mutates in place."""
+    mutated: Set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in MUTATOR_METHODS:
+            attr = _self_attr(node.func.value)
+            if attr is not None:
+                mutated.add(attr)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    attr = _self_attr(target.value)
+                    if attr is not None:
+                        mutated.add(attr)
+    return mutated
+
+
+def _method_rebindings(method: AnyFunc) -> Set[str]:
+    """``self.X`` attributes this method rebinds (``self.X = ...``)."""
+    rebound: Set[str] = set()
+    for node in ast.walk(method):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                rebound.add(attr)
+    return rebound
+
+
+@register
+class SharedClassStateRule(ProjectRule):
+    """RACE002 — class-level mutable container mutated from ≥2 contexts.
+
+    A class attribute bound to a mutable container is one object shared by
+    every instance *and* every subclass; when two different methods (the
+    two callback contexts) mutate it through ``self`` without any method
+    ever rebinding ``self.attr``, state leaks across replicas and across
+    runs of a sweep.  The inheritance chain is resolved through the symbol
+    table, so a subclass in another module mutating a base-class attribute
+    fires too.  Fires at the attribute's definition.
+    """
+
+    code = "RACE002"
+    summary = ("class-level mutable container mutated from multiple "
+               "methods; make it an instance attribute")
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        symbols = project.symbols
+        for qualname in sorted(symbols.classes):
+            info = symbols.classes[qualname]
+            if "src/repro" not in info.path \
+                    and not info.path.startswith("repro/"):
+                continue
+            module = project.modules.get(info.module)
+            if module is None:
+                continue
+            mutable = info.mutable_class_attrs(module.ctx)
+            if not mutable:
+                continue
+            chain = symbols.mro_chain(info)
+            # Subclasses elsewhere in the project share the attribute too.
+            family = [cls for cls in symbols.classes.values()
+                      if info in symbols.mro_chain(cls)] or chain
+            family.sort(key=lambda cls: cls.qualname)
+            for attr in sorted(mutable):
+                rebound = any(
+                    attr in _method_rebindings(method)
+                    for cls in family
+                    for _, method in sorted(cls.methods.items()))
+                if rebound:
+                    continue
+                mutators = sorted({
+                    f"{cls.name}.{name}"
+                    for cls in family
+                    for name, method in cls.methods.items()
+                    if attr in _method_mutations(method)})
+                if len(mutators) < 2:
+                    continue
+                yield self.project_finding(
+                    info.path, mutable[attr],
+                    f"class attribute {info.name}.{attr} is a mutable "
+                    f"container shared by every instance and mutated from "
+                    f"{', '.join(mutators)}; bind it per-instance in "
+                    f"__init__")
+
+
+@register
+class MutableDefaultRule(ProjectRule):
+    """RACE003 — mutable default arguments and dataclass field defaults.
+
+    The default is evaluated once at definition time; every call (and
+    every dataclass instance) then shares the object.  Spec/scenario/
+    message dataclasses are the high-blast-radius cases — a sweep reusing
+    one spec object must never see another run's appends — but the trap
+    is the same everywhere, so every library function is checked.
+    """
+
+    code = "RACE003"
+    summary = ("mutable default (argument or dataclass field); use None "
+               "or field(default_factory=...)")
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        for info in project.iter_modules():
+            if not info.in_src:
+                continue
+            yield from self._check_module(info, project)
+
+    def _check_module(self, info: ModuleInfo,
+                      project: ProjectModel) -> Iterator[Finding]:
+        ctx = info.ctx
+        for func in _functions(ctx.tree):
+            defaults = list(func.args.defaults) \
+                + [default for default in func.args.kw_defaults
+                   if default is not None]
+            for default in defaults:
+                if is_mutable_value(default, ctx):
+                    yield self.project_finding(
+                        ctx.path, default,
+                        f"mutable default argument in {func.name}(); the "
+                        f"object is shared across every call — default to "
+                        f"None and build inside")
+        for qualname in sorted(project.symbols.classes):
+            cls = project.symbols.classes[qualname]
+            if cls.path != ctx.path or not cls.is_dataclass:
+                continue
+            for attr in sorted(cls.class_attrs):
+                value = cls.class_attrs[attr]
+                if is_mutable_value(value, ctx):
+                    yield self.project_finding(
+                        ctx.path, value,
+                        f"mutable default for dataclass field "
+                        f"{cls.name}.{attr}; use "
+                        f"field(default_factory=...)")

@@ -1,0 +1,190 @@
+"""Timestamp-units checker (RT002) — whole-program.
+
+The simulator's native unit is the second (:mod:`repro.units`); the paper
+reports milliseconds; schedulers count periods.  All three live in plain
+floats/ints, so nothing stops ``deadline + retry_count`` from type-checking
+— the bug only surfaces as a window check that passes at the wrong instant.
+
+RT002 runs a small per-function unit inference over three abstract units:
+
+* ``seconds``  — results of ``ms()``/``us()`` conversions, ``sim.now``-style
+  accessors, and names following the timestamp convention
+  (``*_time``, ``deadline``, ``*_horizon``, ``now``);
+* ``millis``   — results of ``to_ms()`` and ``*_ms`` names;
+* ``count``    — results of ``len()`` and ``seq``/``*_count``/``n_*`` names.
+
+Units propagate through simple ``name = expr`` assignments and same-unit
+``+``/``-`` arithmetic.  ``+``/``-`` or an ordering/equality comparison
+between two *different known* units fires; ``*`` and ``/`` never do — that
+is how conversions are written.  Unknown operands stay silent, which keeps
+the checker honest on code the convention does not cover.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.lint.context import FileContext
+from repro.lint.finding import Finding
+from repro.lint.project import ModuleInfo, ProjectModel
+from repro.lint.registry import ProjectRule, register
+
+AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+SECONDS = "seconds"
+MILLIS = "milliseconds"
+COUNT = "count"
+
+#: Conversion helpers from :mod:`repro.units`, by qualified name.
+_SECONDS_CALLS = frozenset({"repro.units.ms", "repro.units.us"})
+_MILLIS_CALLS = frozenset({"repro.units.to_ms"})
+_COUNT_CALLS = frozenset({"len"})
+
+#: Attribute accessors that read the virtual clock (``sim.now``,
+#: ``self.sim.now`` — the codebase convention for current sim time).
+_CLOCK_ATTRS = frozenset({"now"})
+
+_SECONDS_NAME = re.compile(r"((^|_)(time|deadline|horizon|now)|_s)$")
+_MILLIS_NAME = re.compile(r"(^|_)ms$")
+_COUNT_NAME = re.compile(r"((^|_)(seq|count)|^n_|^num_)")
+
+
+def _name_unit(identifier: str) -> Optional[str]:
+    if _MILLIS_NAME.search(identifier):
+        return MILLIS
+    if _SECONDS_NAME.search(identifier):
+        return SECONDS
+    if _COUNT_NAME.search(identifier):
+        return COUNT
+    return None
+
+
+class _UnitEnv:
+    """Flow-insensitive per-function unit environment.
+
+    A name has a unit only while every binding in the function agrees;
+    conflicting bindings demote it to unknown rather than guessing.
+    """
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.bindings: Dict[str, Optional[str]] = {}
+
+    def bind(self, name: str, unit: Optional[str]) -> None:
+        if name in self.bindings and self.bindings[name] != unit:
+            self.bindings[name] = None
+        else:
+            self.bindings[name] = unit
+
+    def unit_of(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            bound = self.bindings.get(node.id)
+            if bound is not None:
+                return bound
+            if node.id in self.bindings:
+                return None  # explicitly demoted by conflicting bindings
+            return _name_unit(node.id)
+        if isinstance(node, ast.Attribute):
+            if node.attr in _CLOCK_ATTRS:
+                return SECONDS
+            return _name_unit(node.attr)
+        if isinstance(node, ast.Call):
+            qualified = self.ctx.qualified_name(node.func)
+            if qualified in _SECONDS_CALLS:
+                return SECONDS
+            if qualified in _MILLIS_CALLS:
+                return MILLIS
+            if qualified in _COUNT_CALLS:
+                return COUNT
+            terminal = qualified.rsplit(".", 1)[-1] if qualified else None
+            if terminal == "now":
+                return SECONDS
+            return None
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                left = self.unit_of(node.left)
+                right = self.unit_of(node.right)
+                if left is not None and left == right:
+                    return left
+            # *, /, // are conversions or scalings: unit unknown by design.
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self.unit_of(node.operand)
+        return None
+
+
+def _functions(tree: ast.Module) -> Iterator[AnyFunc]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _build_env(func: AnyFunc, ctx: FileContext) -> _UnitEnv:
+    env = _UnitEnv(ctx)
+    for node in ast.walk(func):
+        value: Optional[ast.expr] = None
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                env.bind(target.id, env.unit_of(value))
+    return env
+
+
+@register
+class UnitMixRule(ProjectRule):
+    """RT002 — sim-seconds mixed with milliseconds or period counts.
+
+    Fires on ``+``/``-`` and on comparisons whose two operands carry
+    *different known* units — ``deadline_ms - sim.now`` is a thousand-fold
+    error the window checker will happily accept.  Multiplication and
+    division are exempt (that is what a conversion looks like), and any
+    operand the inference cannot classify stays silent.  Library code
+    only.
+    """
+
+    code = "RT002"
+    summary = ("arithmetic/comparison mixes sim-seconds with "
+               "milliseconds or counts; convert via repro.units first")
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        for info in project.iter_modules():
+            if not info.in_src:
+                continue
+            yield from self._check_module(info)
+
+    def _check_module(self, info: ModuleInfo) -> Iterator[Finding]:
+        ctx = info.ctx
+        for func in _functions(ctx.tree):
+            env = _build_env(func, ctx)
+            for node in ast.walk(func):
+                yield from self._check_node(ctx, env, node)
+
+    def _check_node(self, ctx: FileContext, env: _UnitEnv,
+                    node: ast.AST) -> Iterator[Finding]:
+        pairs: List[Tuple[ast.expr, ast.expr, ast.AST]] = []
+        if isinstance(node, ast.BinOp) \
+                and isinstance(node.op, (ast.Add, ast.Sub)):
+            pairs.append((node.left, node.right, node))
+        elif isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            for left, right in zip(operands, operands[1:]):
+                pairs.append((left, right, node))
+        for left, right, anchor in pairs:
+            left_unit = env.unit_of(left)
+            right_unit = env.unit_of(right)
+            if left_unit is None or right_unit is None \
+                    or left_unit == right_unit:
+                continue
+            yield self.project_finding(
+                ctx.path, anchor,
+                f"mixing {left_unit} ({ast.unparse(left)}) with "
+                f"{right_unit} ({ast.unparse(right)}); convert via "
+                f"repro.units (ms/to_ms) or count periods explicitly")

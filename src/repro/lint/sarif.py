@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 output for CI annotation.
+
+GitHub (and most code-scanning UIs) render SARIF results as inline PR
+annotations, so ``python -m repro.lint --output sarif`` is the bridge from
+the analyzer to review comments.  The document is built as plain data and
+serialised with :func:`repro.metrics.jsonio.stable_dumps` — sorted keys,
+no NaN — so two runs over the same tree emit byte-identical reports, the
+same determinism contract the rest of the analyzer keeps.
+
+Only the fields consumers actually read are emitted: the tool descriptor
+with the full rule catalogue, and one ``result`` per finding with a
+physical location.  Columns are converted from the linter's 0-based
+convention to SARIF's 1-based one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule
+
+#: SARIF schema pinned in the document for validating consumers.
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+#: Every repro.lint finding gates CI, so every result is an ``error``.
+RESULT_LEVEL = "error"
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, Any]:
+    return {
+        "id": rule.code,
+        "shortDescription": {"text": rule.summary},
+    }
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.rule,
+        "level": RESULT_LEVEL,
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+    }
+
+
+def sarif_document(findings: Sequence[Finding],
+                   rules: Sequence[Rule]) -> Dict[str, Any]:
+    """Build a SARIF 2.1.0 document for ``findings``.
+
+    ``rules`` is the rule set that ran (selected rules only, so the
+    descriptor catalogue matches the invocation); findings are emitted in
+    their canonical sorted order.
+    """
+    meta_codes = sorted({finding.rule for finding in findings}
+                       - {rule.code for rule in rules})
+    descriptors: List[Dict[str, Any]] = [
+        _rule_descriptor(rule)
+        for rule in sorted(rules, key=lambda rule: rule.code)]
+    # Meta-codes (LINT001 suppression typos, LINT002 syntax errors) are not
+    # registry rules but may appear in results; declare them so consumers
+    # never meet an undeclared ruleId.
+    descriptors.extend(
+        {"id": code, "shortDescription": {"text": "analyzer meta-finding"}}
+        for code in meta_codes)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.lint",
+                    "rules": descriptors,
+                },
+            },
+            "results": [_result(finding) for finding in sorted(findings)],
+        }],
+    }

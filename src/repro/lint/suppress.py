@@ -6,7 +6,7 @@ line the comment sits on — there is no block or file scope, which keeps a
 violation.  Several rules separate with commas::
 
     t = time.time()  # lint: disable=DET001
-    x = {a, b}; emit(x)  # lint: disable=DET003,TR001
+    x = {a, b}; emit(x)  # lint: disable=DET003,RACE001
 
 Unknown rule codes in a disable comment are themselves reported (as
 ``LINT001``) so a typo cannot silently disable nothing.  Comments are found

@@ -1,0 +1,245 @@
+"""Whole-program symbol table: classes, attributes, and module constants.
+
+The per-file :class:`~repro.lint.context.FileContext` resolves names *within*
+one module; this table is the cross-module half.  It is built once per
+analysis run (phase one) from every parsed module and answers the questions
+the protocol/race rule families keep asking:
+
+* which classes exist, where, with which bases and decorators;
+* which of them are dataclasses, and which carry wire-protocol ``TYPE``
+  tags (the message-class convention of :mod:`repro.core.rtpb_protocol`);
+* which class-level attributes are bound to mutable containers;
+* which module-level names are plain string/int constants (so a rule can
+  resolve ``REPLICA_ROLE_PREFIX`` through an import to ``"replica"``).
+
+Everything here is a plain data holder derived deterministically from the
+ASTs — building the table twice over the same tree yields equal contents.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.lint.context import FileContext
+
+#: Expression nodes that evaluate to a freshly built mutable container.
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+
+#: Zero-or-more-argument constructors that build mutable containers.
+MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "collections.deque", "collections.Counter",
+    "collections.OrderedDict",
+})
+
+
+def is_mutable_value(node: ast.AST, ctx: FileContext) -> bool:
+    """Whether ``node`` evaluates to a shared-state-prone mutable container."""
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        qualified = ctx.qualified_name(node.func)
+        return qualified in MUTABLE_CONSTRUCTORS
+    return False
+
+
+@dataclass
+class ClassInfo:
+    """One class definition as the whole-program rules see it."""
+
+    #: Bare class name (``UpdateMsg``).
+    name: str
+    #: Dotted ``module.Class`` identity, unique per project.
+    qualname: str
+    #: Dotted module the class is defined in.
+    module: str
+    #: Path of the defining file (as reported in findings).
+    path: str
+    node: ast.ClassDef
+    #: Base-class names resolved through the defining module's imports
+    #: (``Header`` -> ``repro.xkernel.message.Header`` when imported).
+    bases: Tuple[str, ...] = ()
+    #: Decorator names, resolved the same way (``dataclasses.dataclass``).
+    decorators: Tuple[str, ...] = ()
+    #: Class-level simple assignments: attribute name -> value expression.
+    class_attrs: Dict[str, ast.expr] = field(default_factory=dict)
+    #: Integer wire tags: ``TYPE`` / ``TYPE_*`` class constants.
+    type_tags: Dict[str, int] = field(default_factory=dict)
+    #: Methods by name (functions defined directly in the class body).
+    methods: Dict[str, Union[ast.FunctionDef, ast.AsyncFunctionDef]] = \
+        field(default_factory=dict)
+
+    @property
+    def is_dataclass(self) -> bool:
+        return any(decorator.split(".")[-1] == "dataclass"
+                   for decorator in self.decorators)
+
+    @property
+    def is_message(self) -> bool:
+        """Message-class convention: an integer ``TYPE``/``TYPE_*`` tag."""
+        return bool(self.type_tags)
+
+    def mutable_class_attrs(self, ctx: FileContext) -> Dict[str, ast.expr]:
+        """Class-level attributes bound to mutable container values."""
+        return {name: value for name, value in self.class_attrs.items()
+                if is_mutable_value(value, ctx)}
+
+
+def _decorator_name(node: ast.expr, ctx: FileContext) -> Optional[str]:
+    if isinstance(node, ast.Call):
+        node = node.func
+    return ctx.qualified_name(node)
+
+
+def _class_info(node: ast.ClassDef, module: str,
+                ctx: FileContext) -> ClassInfo:
+    info = ClassInfo(
+        name=node.name,
+        qualname=f"{module}.{node.name}",
+        module=module,
+        path=ctx.path,
+        node=node,
+        bases=tuple(name for name in
+                    (ctx.qualified_name(base) for base in node.bases)
+                    if name is not None),
+        decorators=tuple(name for name in
+                         (_decorator_name(dec, ctx)
+                          for dec in node.decorator_list)
+                         if name is not None),
+    )
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods.setdefault(stmt.name, stmt)
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            name = stmt.targets[0].id
+            info.class_attrs[name] = stmt.value
+            if (name == "TYPE" or name.startswith("TYPE_")) \
+                    and isinstance(stmt.value, ast.Constant) \
+                    and isinstance(stmt.value.value, int):
+                info.type_tags[name] = stmt.value.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None \
+                and isinstance(stmt.target, ast.Name):
+            info.class_attrs[stmt.target.id] = stmt.value
+    return info
+
+
+def _module_constants(tree: ast.Module) -> Dict[str, Union[str, int]]:
+    """Module-level names bound exactly once to a str/int literal."""
+    constants: Dict[str, Union[str, int]] = {}
+    rebound: set = set()
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id in constants or target.id in rebound:
+                rebound.add(target.id)
+                constants.pop(target.id, None)
+                continue
+            if isinstance(value, ast.Constant) \
+                    and isinstance(value.value, (str, int)) \
+                    and not isinstance(value.value, bool):
+                constants[target.id] = value.value
+            else:
+                rebound.add(target.id)
+    return constants
+
+
+class SymbolTable:
+    """Classes and module constants for every module in the project."""
+
+    def __init__(self) -> None:
+        #: ``module.Class`` -> info, for every class in the project.
+        self.classes: Dict[str, ClassInfo] = {}
+        #: Bare class name -> infos (sorted by qualname; names can collide).
+        self.by_name: Dict[str, List[ClassInfo]] = {}
+        #: Dotted module -> {name: literal value} string/int constants.
+        self.module_constants: Dict[str, Dict[str, Union[str, int]]] = {}
+
+    def add_module(self, module: str, ctx: FileContext) -> None:
+        self.module_constants[module] = _module_constants(ctx.tree)
+        for stmt in ctx.tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            info = _class_info(stmt, module, ctx)
+            self.classes[info.qualname] = info
+            bucket = self.by_name.setdefault(info.name, [])
+            bucket.append(info)
+            bucket.sort(key=lambda item: item.qualname)
+
+    def resolve_class(self, ctx: FileContext, module: str,
+                      node: ast.AST) -> Optional[ClassInfo]:
+        """Resolve an expression naming a class to its :class:`ClassInfo`.
+
+        Handles the three spellings rules meet: a bare local name
+        (``UpdateMsg`` in the defining module), an imported name
+        (resolved to a dotted path through the file's alias table), and a
+        dotted attribute chain (``protocol.UpdateMsg``).
+        """
+        qualified = ctx.qualified_name(node)
+        if qualified is None:
+            return None
+        direct = self.classes.get(qualified)
+        if direct is not None:
+            return direct
+        if "." not in qualified:
+            return self.classes.get(f"{module}.{qualified}")
+        # `import repro.core.rtpb_protocol as protocol; protocol.UpdateMsg`
+        # resolves through the alias table already; a trailing match on the
+        # last two components covers `from x import module; module.Cls`.
+        tail = qualified.rsplit(".", 1)[-1]
+        for info in self.by_name.get(tail, []):
+            if qualified.endswith(f"{info.module.rsplit('.', 1)[-1]}.{tail}"):
+                return info
+        return None
+
+    def resolve_constant(self, ctx: FileContext, module: str,
+                         node: ast.AST) -> Optional[Union[str, int]]:
+        """Resolve a Name/Attribute to a cross-module str/int constant."""
+        if isinstance(node, ast.Constant) \
+                and isinstance(node.value, (str, int)):
+            return node.value
+        qualified = ctx.qualified_name(node)
+        if qualified is None:
+            return None
+        if "." not in qualified:
+            return self.module_constants.get(module, {}).get(qualified)
+        owner, name = qualified.rsplit(".", 1)
+        return self.module_constants.get(owner, {}).get(name)
+
+    def mro_chain(self, info: ClassInfo) -> List[ClassInfo]:
+        """The class plus every project-resolvable ancestor (approximate).
+
+        Linearisation is depth-first over declared base order with cycle
+        protection — close enough for attribute-origin questions; rules
+        must not depend on diamond-order subtleties.
+        """
+        chain: List[ClassInfo] = []
+        seen: set = set()
+        stack: List[ClassInfo] = [info]
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            chain.append(current)
+            parents: List[ClassInfo] = []
+            for base in current.bases:
+                parent = self.classes.get(base)
+                if parent is None:
+                    tail = base.rsplit(".", 1)[-1]
+                    candidates = self.by_name.get(tail, [])
+                    parent = candidates[0] if len(candidates) == 1 else None
+                if parent is not None:
+                    parents.append(parent)
+            stack = parents + stack
+        return chain

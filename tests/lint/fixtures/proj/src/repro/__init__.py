@@ -1,0 +1,7 @@
+"""Fixture mini-package for the whole-program (PROTO/RACE/RT002) rules.
+
+A deliberately tiny replica of the library's shape: a categories
+vocabulary, a message vocabulary, one sender, one handler — with exactly
+one violation (and one non-violation twin) per cross-module rule.  Linted
+only by explicit tests; directory walks skip ``fixtures`` trees.
+"""

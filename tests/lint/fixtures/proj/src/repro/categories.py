@@ -1,0 +1,6 @@
+"""Fixture trace vocabulary (read statically by PROTO004)."""
+
+PRIMARY_WRITE = "primary_write"
+BACKUP_APPLY = "backup_apply"
+
+ALL_CATEGORIES = frozenset({PRIMARY_WRITE, BACKUP_APPLY})

@@ -1,0 +1,22 @@
+"""Fixture handler: dispatches messages, resolves roles."""
+
+from repro.messages import CleanMsg, GhostMsg
+
+
+class Handler:
+    def __init__(self, names):
+        self.names = names
+
+    def on_message(self, message):
+        if isinstance(message, CleanMsg):
+            return message.seq
+        # PROTO002 (line 14): dead arm — nobody ever constructs GhostMsg.
+        if isinstance(message, GhostMsg):
+            return None
+        return None
+
+    def resolve(self):
+        primaries = self.names.lookup_roles("h0", "prim")
+        # PROTO003 (line 21): nobody publishes any role matching "standby".
+        standby = self.names.peek_role("h0", "standby")
+        return primaries, standby

@@ -1,0 +1,24 @@
+"""Fixture message vocabulary: one clean type, one orphan, one ghost."""
+
+
+class CleanMsg:  # constructed in sender, dispatched in handler: fine
+    TYPE = 1
+
+    def __init__(self, seq):
+        self.seq = seq
+
+
+class OrphanMsg:  # PROTO001 (line 11): sender constructs, nobody dispatches
+    TYPE = 2
+
+    def __init__(self, seq):
+        self.seq = seq
+
+
+class GhostMsg:  # dispatched in handler, never constructed -> PROTO002 there
+    TYPE = 3
+
+
+def decode(payload):
+    # Codec round-trip in the defining module: must count for neither side.
+    return CleanMsg(payload), OrphanMsg(payload), GhostMsg()

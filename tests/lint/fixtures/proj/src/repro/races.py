@@ -1,0 +1,50 @@
+"""Fixture: RACE001/RACE002/RACE003 — races and shared-state traps."""
+
+from dataclasses import dataclass, field
+
+
+class Broadcaster:
+    # RACE002 (line 9): one list shared by every instance, mutated from
+    # two callback contexts and never rebound per-instance.
+    pending = []
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.log = []  # instance attribute: fine
+
+    def on_update(self, update):
+        self.pending.append(update)
+
+    def on_timer(self):
+        self.pending.pop()
+        self.log.append("tick")  # only context mutating self.log
+
+    def broadcast(self, peers: set):
+        # RACE001 (line 24): set iteration order reaches the event queue.
+        for peer in peers:
+            self.sim.schedule(0.1, peer)
+        for peer in sorted(peers):  # ordered: fine
+            self.sim.schedule(0.2, peer)
+
+    def fanout(self, fabric):
+        targets = {"a", "b", "c"}
+        # RACE001 (line 32): comprehension over a set inside a send().
+        fabric.send([t for t in targets], "ping")
+
+
+@dataclass
+class SweepSpec:
+    name: str = "spec"
+    points: list = []  # RACE003 (line 38): one list per *definition*
+    labels: list = field(default_factory=list)  # fine
+
+
+def collect(seq, acc=[]):  # RACE003 (line 42): shared default list
+    acc.append(seq)
+    return acc
+
+
+def collect_fresh(seq, acc=None):  # fine: built per call
+    acc = [] if acc is None else acc
+    acc.append(seq)
+    return acc

@@ -1,0 +1,24 @@
+"""Fixture sender: constructs messages, publishes roles, records traces."""
+
+from repro.messages import CleanMsg, OrphanMsg
+
+PRIMARY_ROLE = "primary"
+
+
+class Sender:
+    def __init__(self, sim, fabric, names):
+        self.sim = sim
+        self.fabric = fabric
+        self.names = names
+
+    def start(self):
+        self.names.publish_role("s0", PRIMARY_ROLE, ("host", 1))
+        # PROTO003 (line 17): published, but no lookup ever matches it.
+        self.names.publish_role("s0", "shadow", ("host", 2))
+
+    def emit(self, seq):
+        self.fabric.send("h0", CleanMsg(seq))
+        self.fabric.send("h0", OrphanMsg(seq))
+        self.sim.trace.record("primary_write", seq=seq)
+        # PROTO004 (line 24): category missing from the fixture vocabulary.
+        self.sim.trace.record("primary_wrte", seq=seq)

@@ -1,0 +1,23 @@
+"""Fixture: RT002 — sim-seconds vs milliseconds vs period counts."""
+
+from repro.units import ms, to_ms
+
+
+class WindowCheck:
+    def __init__(self, sim):
+        self.sim = sim
+        self.retry_count = 0
+
+    def late(self, deadline):
+        lat_ms = to_ms(deadline)
+        # RT002 (line 14): milliseconds compared against sim-seconds.
+        if lat_ms > self.sim.now:
+            return True
+        # RT002 (line 17): seconds minus a period count.
+        return (deadline - self.retry_count) > 0
+
+    def fine(self, deadline):
+        budget = ms(50)
+        remaining = deadline - self.sim.now  # seconds - seconds: fine
+        scaled = remaining * self.retry_count  # scaling: fine
+        return to_ms(remaining) > to_ms(budget) and scaled > 0

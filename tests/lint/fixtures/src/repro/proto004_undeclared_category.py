@@ -1,0 +1,13 @@
+"""Fixture: PROTO004 — recording a category missing from the registry."""
+
+
+class Replica:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def apply(self, update):
+        self.sim.trace.record("backup_aply", seq=update.seq)  # PROTO004 (line 9)
+        self.sim.trace.record("backup_apply", seq=update.seq)  # declared: fine
+
+    def audit(self, trace):
+        return trace.select("primry_write")  # PROTO004 (line 13)

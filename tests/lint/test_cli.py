@@ -55,14 +55,16 @@ def test_rules_catalogue_lists_every_rule(capsys):
     assert main(["--rules"]) == 0
     out = capsys.readouterr().out
     for code in ("DET001", "DET002", "DET003", "DET004",
-                 "RT001", "TR001", "SIM001", "API001"):
+                 "PROTO001", "PROTO002", "PROTO003", "PROTO004",
+                 "RACE001", "RACE002", "RACE003",
+                 "RT001", "RT002", "SIM001", "API001"):
         assert code in out
 
 
 def test_select_runs_only_named_rules(tmp_path, capsys, monkeypatch):
     monkeypatch.chdir(tmp_path)
     src = write_violation(tmp_path)
-    assert main([str(src), "--select", "TR001"]) == 0
+    assert main([str(src), "--select", "PROTO004"]) == 0
     assert main([str(src), "--select", "DET001"]) == 1
 
 

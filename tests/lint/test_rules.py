@@ -67,9 +67,9 @@ def test_rt001_float_time_equality():
     # Notably absent: window bounds (line 11) and the None sentinel.
 
 
-def test_tr001_undeclared_category():
-    assert hits("src/repro/tr001_undeclared_category.py") == {
-        ("TR001", 9), ("TR001", 13)}
+def test_proto004_undeclared_category():
+    assert hits("src/repro/proto004_undeclared_category.py") == {
+        ("PROTO004", 9), ("PROTO004", 13)}
     # Notably absent: line 10, which records a declared category.
 
 
@@ -86,7 +86,7 @@ def test_api001_swallowed_exceptions():
 
 
 def test_src_only_rules_stay_out_of_test_code():
-    # The same RT001/TR001/SIM001 violations outside a src/repro path
+    # The same RT001/PROTO004/SIM001 violations outside a src/repro path
     # produce nothing: tests may assert exact instants and mint uuids.
     from repro.lint import lint_source
     source = (FIXTURES / "src" / "repro"

@@ -1,7 +1,7 @@
 """Every trace category recorded in the library must be declared.
 
 :mod:`repro.sim.categories` is the vocabulary of :meth:`Tracer.record`.
-Enforcement lives in the linter's TR001 rule (``repro.lint``); this test is
+Enforcement lives in the linter's PROTO004 rule (``repro.lint``); this test is
 the thin tier-1 assertion that the rule finds zero violations over the
 library tree, so deleting a still-emitted category (or misspelling one at a
 call site) fails here *and* in the CI lint gate — one implementation, two
@@ -17,13 +17,13 @@ SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
 
 
 def test_no_undeclared_categories_in_the_library():
-    findings = lint_paths([SRC_ROOT], rules=select_rules(["TR001"]))
+    findings = lint_paths([SRC_ROOT], rules=select_rules(["PROTO004"]))
     assert findings == [], (
         "trace categories recorded but not declared in "
         f"repro.sim.categories: {[f.render() for f in findings]}")
 
 
-def test_tr001_would_catch_an_undeclared_category():
+def test_proto004_would_catch_an_undeclared_category():
     # Guard against the rule going silently toothless: a category absent
     # from the registry must produce a finding when recorded in library
     # code, including when the literal wraps onto its own line.
@@ -32,8 +32,8 @@ def test_tr001_would_catch_an_undeclared_category():
               '        self.sim.trace.record(\n'
               '            "no_such_category_ever", seq=update.seq)\n')
     findings = lint_source(source, "src/repro/fake.py",
-                           rules=select_rules(["TR001"]))
-    assert [(f.rule, f.line) for f in findings] == [("TR001", 4)]
+                           rules=select_rules(["PROTO004"]))
+    assert [(f.rule, f.line) for f in findings] == [("PROTO004", 4)]
 
 
 def test_constants_match_their_values():
