@@ -10,6 +10,11 @@
   response waits for the backup's ack.  Zero staleness, but response time
   pays a network round trip plus backup apply — the overhead the paper's
   relaxation removes.
+- :class:`~repro.baselines.fastpath.FastPathEagerService` — eager plus the
+  commutative/timestamp-stable fast path of :mod:`repro.core.fastpath`:
+  writes that provably commute with everything the backup has not yet
+  acked (or that are already covered by its acked high-water mark) are
+  answered before the round trip.
 """
 
 from repro.baselines.active import (
@@ -18,6 +23,7 @@ from repro.baselines.active import (
     SemiActiveReplicationService,
 )
 from repro.baselines.eager import EagerPrimaryServer, EagerService
+from repro.baselines.fastpath import FastPathEagerServer, FastPathEagerService
 from repro.baselines.window_consistent import (
     WindowConsistentPrimaryServer,
     WindowConsistentService,
@@ -28,6 +34,8 @@ __all__ = [
     "WindowConsistentPrimaryServer",
     "EagerService",
     "EagerPrimaryServer",
+    "FastPathEagerService",
+    "FastPathEagerServer",
     "ActiveReplicationService",
     "SemiActiveReplicationService",
     "ActiveReplica",

@@ -10,16 +10,29 @@ eliminates from the critical path.
 
 Construct through :class:`EagerService`, which forces ``ack_updates`` on so
 the stock backup acknowledges applies.
+
+Failure semantics: a write deferred on the backup's ack can never complete
+once that backup is dead.  When the primary declares the backup lost it
+*flushes* every pending completion — the client gets its callback and a
+``client_response_degraded`` trace record (the write is durable on the
+primary only) instead of waiting forever on a retry loop aimed at a
+corpse.  See :mod:`repro.baselines.fastpath` for the commutative/stable
+fast path layered on this baseline.
+
+Trace categories: ``client_response``, ``client_response_degraded``,
+``update_sent``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.admission import AdmissionDecision
 from repro.core.object_store import ObjectRecord
-from repro.core.rtpb_protocol import UpdateAckMsg, UpdateMsg, encode_message
-from repro.core.server import ReplicaServer
+from repro.core.rtpb_protocol import (RecruitAckMsg, UpdateAckMsg, UpdateMsg,
+                                      encode_message)
+from repro.core.server import ReplicaServer, Role
 from repro.core.service import RTPBService
 from repro.core.spec import ObjectSpec, ServiceConfig
 from repro.sched.task import BAND_REALTIME
@@ -28,15 +41,30 @@ from repro.sched.task import BAND_REALTIME
 _RETRY_FACTOR = 3.0
 
 
+@dataclass
+class _PendingWrite:
+    """One write awaiting the backup's ack.
+
+    ``completed`` marks writes the fast path already answered — the entry
+    then only tracks replication (retry until acked), and the ack completes
+    it silently instead of tracing a second client response.
+    """
+
+    issue_time: float
+    on_complete: Optional[Callable[[float], None]]
+    completed: bool = False
+
+
 class EagerPrimaryServer(ReplicaServer):
     """Primary that completes writes only after the backup acks them."""
 
     def __init__(self, *args: object, **kwargs: object) -> None:
         super().__init__(*args, **kwargs)
-        #: (object_id, seq) -> (issue_time, on_complete callback)
-        self._pending_acks: Dict[Tuple[int, int],
-                                 Tuple[float, Optional[Callable]]] = {}
+        #: (object_id, seq) -> the pending write awaiting that ack.
+        self._pending_acks: Dict[Tuple[int, int], _PendingWrite] = {}
         self.sync_retransmissions = 0
+        #: Writes completed degraded (backup died before acking).
+        self.degraded_completions = 0
 
     def register_object(self, spec: ObjectSpec) -> AdmissionDecision:
         decision = super().register_object(spec)
@@ -48,8 +76,30 @@ class EagerPrimaryServer(ReplicaServer):
     def _after_primary_write(self, record: ObjectRecord, issue_time: float,
                              on_complete: Optional[Callable[[float], None]]
                              ) -> None:
+        self._defer_until_ack(record, issue_time, on_complete)
+
+    def _defer_until_ack(self, record: ObjectRecord, issue_time: float,
+                         on_complete: Optional[Callable[[float], None]],
+                         completed: bool = False) -> None:
+        """Queue the write on the backup's ack and start the sync send."""
+        if self.peer_address is None:
+            # Unpaired primary: the ack can never come.  Answer degraded
+            # now instead of queueing on a backup that does not exist — a
+            # later recruit receives this state through the recruit-time
+            # snapshot transfer, not through this write's retry loop.
+            if not completed:
+                response = self.sim.now - issue_time
+                self.degraded_completions += 1
+                self.sim.trace.record(
+                    "client_response_degraded",
+                    object=record.spec.object_id, issue=issue_time,
+                    response=response, server=self.name, reason="unpaired")
+                if on_complete is not None:
+                    on_complete(response)
+            return
         key = (record.spec.object_id, record.seq)
-        self._pending_acks[key] = (issue_time, on_complete)
+        self._pending_acks[key] = _PendingWrite(issue_time, on_complete,
+                                                completed=completed)
         self._send_sync_update(record.spec, record.seq, attempt=0)
 
     def _send_sync_update(self, spec: ObjectSpec, seq: int,
@@ -93,7 +143,7 @@ class EagerPrimaryServer(ReplicaServer):
         if record.seq > 0:
             key = (message.object_id, record.seq)
             if key not in self._pending_acks:
-                self._pending_acks[key] = (self.sim.now, None)
+                self._pending_acks[key] = _PendingWrite(self.sim.now, None)
             self._send_sync_update(record.spec, record.seq, attempt=1)
 
     def _on_update_ack(self, message: UpdateAckMsg) -> None:
@@ -102,12 +152,71 @@ class EagerPrimaryServer(ReplicaServer):
         completed = [key for key in self._pending_acks
                      if key[0] == message.object_id and key[1] <= message.seq]
         for key in sorted(completed, key=lambda item: item[1]):
-            issue_time, on_complete = self._pending_acks.pop(key)
-            response = self.sim.now - issue_time
-            self.sim.trace.record("client_response", object=key[0],
-                                  issue=issue_time, response=response)
-            if on_complete is not None:
-                on_complete(response)
+            pending = self._pending_acks.pop(key)
+            if pending.completed:
+                continue  # the fast path already answered this client
+            response = self.sim.now - pending.issue_time
+            if self.config.fastpath_enabled:
+                self.sim.trace.record("client_response", object=key[0],
+                                      issue=pending.issue_time,
+                                      response=response, path="deferred")
+            else:
+                self.sim.trace.record("client_response", object=key[0],
+                                      issue=pending.issue_time,
+                                      response=response)
+            if pending.on_complete is not None:
+                pending.on_complete(response)
+
+    # -- failure handling --------------------------------------------------
+
+    def _peer_dead(self) -> None:
+        """Flush deferred completions before the generic backup-lost path.
+
+        Without this, every write caught in flight when the backup crashes
+        leaks: its ``on_complete`` never fires and its retry loop spins
+        until the horizon.  The client instead gets a *degraded* completion
+        — traced as ``client_response_degraded``, not ``client_response``,
+        because the write is durable on the primary alone.
+        """
+        if (self.alive and self.role is Role.PRIMARY
+                and self._pending_acks):
+            self._flush_pending_degraded(reason="backup_lost")
+        super()._peer_dead()
+
+    def _flush_pending_degraded(self, reason: str) -> None:
+        for key in sorted(self._pending_acks):
+            pending = self._pending_acks.pop(key)
+            if pending.completed:
+                continue
+            response = self.sim.now - pending.issue_time
+            self.degraded_completions += 1
+            self.sim.trace.record("client_response_degraded", object=key[0],
+                                  issue=pending.issue_time, response=response,
+                                  server=self.name, reason=reason)
+            if pending.on_complete is not None:
+                pending.on_complete(response)
+
+    def _handle_recruit_ack(self, message: RecruitAckMsg) -> None:
+        """Integrate a recruited backup under eager semantics.
+
+        The generic path re-arms the decoupled periodic transmitter; eager
+        propagation is per-write, so those tasks are removed again and each
+        written object instead gets a retried synchronous snapshot (the
+        generic path's one-shot state transfer is unretried, which under
+        loss would strand the new backup until its watchdog notices).
+        """
+        was_unpaired = self.role is Role.PRIMARY and self.peer_address is None
+        super()._handle_recruit_ack(message)
+        if not was_unpaired or self.peer_address is None:
+            return
+        for record in self.store:
+            self.transmitter.remove_object(record.spec.object_id)
+            if record.seq > 0:
+                key = (record.spec.object_id, record.seq)
+                if key not in self._pending_acks:
+                    self._pending_acks[key] = _PendingWrite(
+                        self.sim.now, None, completed=True)
+                self._send_sync_update(record.spec, record.seq, attempt=0)
 
 
 class EagerService(RTPBService):

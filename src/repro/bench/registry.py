@@ -234,6 +234,92 @@ def service_run(quick: bool) -> BenchStats:
     )
 
 
+@register("fastpath_steady")
+def fastpath_steady(quick: bool) -> BenchStats:
+    """Eager-with-fast-path steady state against the plain eager baseline.
+
+    Runs the same workload under ``eager`` and ``eager_fastpath`` and
+    reports both response-time means (microseconds, rounded — the fast
+    path's acceptance criterion made measurable), the fast-path hit rate,
+    and a digest over both traces interleaved.
+    """
+    from repro.experiments.harness import run_scenario
+    from repro.workload.scenarios import Scenario
+
+    hasher = hashlib.sha256()
+    events = 0
+    records = 0
+    peaks: List[int] = []
+    means: Dict[str, float] = {}
+    hit_rate = 0.0
+    for replication in ("eager", "eager_fastpath"):
+        scenario = Scenario(
+            n_objects=8 if quick else 24,
+            window=ms(200.0), client_period=ms(100.0),
+            horizon=5.0 if quick else 15.0, seed=4,
+            replication=replication)
+        result = run_scenario(scenario)
+        sim = result.service.sim
+        events += sim.events_executed
+        records += len(result.service.trace)
+        peak = _peak_live(sim)
+        if peak is not None:
+            peaks.append(peak)
+        hasher.update(result.service.trace.digest().encode())
+        means[replication] = round(result.response.mean * 1e6, 1)
+        if replication == "eager_fastpath":
+            hit_rate = round(result.metrics.fastpath_hit_rate, 6)
+    return BenchStats(
+        events_executed=events,
+        peak_live_events=max(peaks) if peaks else None,
+        trace_records=records,
+        digest=hasher.hexdigest(),
+        extra={"eager_mean_us": means["eager"],
+               "fastpath_mean_us": means["eager_fastpath"],
+               "fastpath_hit_rate": hit_rate},
+    )
+
+
+@register("fastpath_failover")
+def fastpath_failover(quick: bool) -> BenchStats:
+    """Fast-path pair through a primary crash, witness drain, and re-pair.
+
+    The eager+fastpath deployment loses its primary mid-run; the bench
+    counts drain cycles and degraded completions and pins the whole
+    transition's trace digest, under the online invariant monitor — the
+    violation count in ``extra`` must stay zero.
+    """
+    from repro.core.service import PRIMARY_ADDRESS
+    from repro.experiments.harness import run_scenario
+    from repro.faults.schedule import FaultSchedule
+    from repro.workload.scenarios import Scenario
+
+    scenario = Scenario(
+        n_objects=8 if quick else 16,
+        window=ms(200.0), client_period=ms(100.0),
+        horizon=10.0 if quick else 20.0, seed=4, n_spares=1,
+        replication="eager_fastpath")
+    schedule = FaultSchedule().crash(4.0, PRIMARY_ADDRESS)
+    result = run_scenario(scenario, fault_schedule=schedule, monitor=True)
+    assert result.monitor is not None
+    sim = result.service.sim
+    trace = result.service.trace
+    drains = sum(1 for record in trace.select("fastpath_drain")
+                 if record["phase"] == "complete")
+    return BenchStats(
+        events_executed=sim.events_executed,
+        peak_live_events=_peak_live(sim),
+        trace_records=len(trace),
+        digest=trace.digest(),
+        extra={"drains_completed": drains,
+               "fastpath_hit_rate": round(result.metrics.fastpath_hit_rate,
+                                          6),
+               "degraded_responses": result.metrics.degraded_responses,
+               "violations":
+                   sum(result.monitor.violation_counts().values())},
+    )
+
+
 def _series_stats(series: Any) -> BenchStats:
     """Stats for a figure sweep: point counts plus a rendered-table digest."""
     rendered = series.render()
@@ -307,14 +393,16 @@ for _name, _func_name, _full, _quick in _FIGURES:
 def chaos_scenarios(quick: bool) -> BenchStats:
     """The chaos catalogue under the online invariant monitor.
 
-    Cluster scenarios are excluded (they have their own ``cluster_*``
-    benches); filtering keeps this bench's digest comparable across the
-    revision that introduced the sharded catalogue entries.
+    Cluster and fast-path scenarios are excluded (they have their own
+    ``cluster_*`` / ``fastpath_*`` benches); filtering keeps this bench's
+    digest comparable across the revisions that introduced those catalogue
+    entries.
     """
     from repro.faults.report import run_chaos
     from repro.faults.scenarios import SCENARIOS as CHAOS
 
-    names = sorted(name for name in CHAOS if not name.startswith("cluster"))
+    names = sorted(name for name in CHAOS
+                   if not name.startswith(("cluster", "fastpath")))
     if quick:
         names = names[:2]
     events = 0

@@ -1,0 +1,179 @@
+"""Commutative / timestamp-stable fast path for primary writes.
+
+The paper's eager (synchronous) discipline withholds every client response
+until the backup acknowledges the apply — a full transmission + one-way
+delay + backup apply + ack delay on the critical path of each write.  Two
+lines of follow-on work show the ack can be skipped *safely* for most
+writes:
+
+- **CURP** ("Exploiting Commutativity For Practical Fast Replication"):
+  a write may be answered before replication completes when it commutes
+  with every update the backup has not yet acknowledged — replaying the
+  unsynced set in any order after a failover reaches the same state.
+- **Timestamp stability** ("Efficient Replication via Timestamp
+  Stability"): a write whose source timestamp is at or below the backup's
+  acknowledged high-water mark is already dominated by replicated state —
+  losing it in a failover cannot make the backup's image of the external
+  world older than what was promised.
+
+This module holds the *pure* decision machinery — no sockets, no
+simulator.  :class:`WitnessSet` tracks, per object, the updates the backup
+has not acknowledged plus the acked source-time high-water mark (the
+primary-side mirror of a CURP witness).  :class:`FastPathPolicy` evaluates
+the two qualification rules against it:
+
+- **commute** — RTPB objects are per-object last-writer-wins snapshots, so
+  same-object updates commute trivially; only a registered
+  :class:`~repro.core.spec.InterObjectConstraint` couples two objects.  A
+  write to ``i`` qualifies when no constrained partner of ``i`` has
+  witnessed unsynced updates.
+- **stable** — the write's source timestamp is ≤ the backup's acked
+  source-time high-water mark for the object.
+
+Non-qualifying writes take the paper's defer-until-ack path unchanged.
+Failover safety: a new primary must *drain* — reseed the witness set from
+its store and block fast replies until the recruited backup has
+acknowledged every reseeded version (see ``docs/FASTPATH.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from repro.core.spec import InterObjectConstraint
+
+#: Qualification rule names (values of ``fastpath_commit`` trace records).
+RULE_COMMUTE = "commute"
+RULE_STABLE = "stable"
+
+
+@dataclass
+class _ObjectWitness:
+    """Unacked updates and the acked high-water mark of one object."""
+
+    #: Sequence numbers sent but not yet covered by a backup ack.
+    unsynced: Set[int] = field(default_factory=set)
+    #: Highest source timestamp the backup has acknowledged applying.
+    acked_source_time: float = float("-inf")
+    #: Highest sequence number the backup has acknowledged.
+    acked_seq: int = 0
+
+
+class WitnessSet:
+    """Per-object record of updates the backup has not acknowledged.
+
+    The primary witnesses every update it sends (:meth:`witness`) and
+    retires them as acks arrive (:meth:`ack`) — an ack for ``seq`` covers
+    every older sequence number of the object, mirroring the eager
+    baseline's cumulative-ack convention.  Between the two calls the update
+    is *unsynced*: it exists on the primary (and on the wire) but a
+    failover could lose it.
+    """
+
+    def __init__(self) -> None:
+        self._objects: Dict[int, _ObjectWitness] = {}
+
+    def _entry(self, object_id: int) -> _ObjectWitness:
+        entry = self._objects.get(object_id)
+        if entry is None:
+            entry = self._objects[object_id] = _ObjectWitness()
+        return entry
+
+    def witness(self, object_id: int, seq: int, source_time: float) -> None:
+        """Record one update as sent-but-unacked."""
+        entry = self._entry(object_id)
+        if seq > entry.acked_seq:
+            entry.unsynced.add(seq)
+
+    def ack(self, object_id: int, seq: int, high_water: float) -> None:
+        """Retire every witnessed seq ≤ ``seq``; raise the high-water mark.
+
+        ``high_water`` is the backup's acked source-time frontier carried
+        on the :class:`~repro.core.rtpb_protocol.UpdateAckMsg`; marks only
+        move forward (acks may arrive out of order).
+        """
+        entry = self._entry(object_id)
+        if seq > entry.acked_seq:
+            entry.acked_seq = seq
+        entry.unsynced = {pending for pending in entry.unsynced
+                          if pending > seq}
+        if high_water > entry.acked_source_time:
+            entry.acked_source_time = high_water
+
+    def has_unsynced(self, object_id: int) -> bool:
+        entry = self._objects.get(object_id)
+        return bool(entry and entry.unsynced)
+
+    def unsynced_count(self, object_id: int) -> int:
+        entry = self._objects.get(object_id)
+        return len(entry.unsynced) if entry else 0
+
+    def any_unsynced(self) -> bool:
+        return any(entry.unsynced for entry in self._objects.values())
+
+    def unsynced_objects(self) -> List[int]:
+        """Object ids with unacked updates, in deterministic (sorted) order."""
+        return sorted(object_id for object_id, entry in self._objects.items()
+                      if entry.unsynced)
+
+    def total_unsynced(self) -> int:
+        return sum(len(entry.unsynced) for entry in self._objects.values())
+
+    def high_water(self, object_id: int) -> float:
+        """Acked source-time frontier (``-inf`` before the first ack)."""
+        entry = self._objects.get(object_id)
+        return entry.acked_source_time if entry else float("-inf")
+
+    def forget(self, object_id: int) -> None:
+        self._objects.pop(object_id, None)
+
+    def clear(self) -> None:
+        self._objects.clear()
+
+
+class FastPathPolicy:
+    """Evaluates the commute/stable qualification rules for one primary.
+
+    Built from the registered inter-object constraints; call
+    :meth:`refresh` whenever a constraint is added (the neighbour map is
+    precomputed so the per-write check is O(partners of i), not
+    O(constraints)).
+    """
+
+    def __init__(self,
+                 constraints: Iterable[InterObjectConstraint] = ()) -> None:
+        self._partners: Dict[int, Set[int]] = {}
+        self.refresh(constraints)
+
+    def refresh(self, constraints: Iterable[InterObjectConstraint]) -> None:
+        """Rebuild the constrained-partner map from ``constraints``."""
+        partners: Dict[int, Set[int]] = {}
+        for constraint in constraints:
+            partners.setdefault(constraint.object_i,
+                                set()).add(constraint.object_j)
+            partners.setdefault(constraint.object_j,
+                                set()).add(constraint.object_i)
+        self._partners = partners
+
+    def partners(self, object_id: int) -> List[int]:
+        """Objects coupled to ``object_id`` by a constraint (sorted)."""
+        return sorted(self._partners.get(object_id, ()))
+
+    def qualify(self, object_id: int, source_time: float,
+                witness: WitnessSet) -> "str | None":
+        """Which rule (if any) lets a write to ``object_id`` reply early.
+
+        Returns :data:`RULE_COMMUTE`, :data:`RULE_STABLE`, or None (the
+        write must defer until the backup ack).  Same-object unsynced
+        updates never block: per-object LWW snapshots commute trivially,
+        and the new write supersedes them.  Constrained partners block —
+        losing *their* unsynced update in a failover could expose a state
+        the answered client already observed as constraint-consistent.
+        """
+        for partner in self._partners.get(object_id, ()):
+            if witness.has_unsynced(partner):
+                if source_time <= witness.high_water(object_id):
+                    return RULE_STABLE
+                return None
+        return RULE_COMMUTE

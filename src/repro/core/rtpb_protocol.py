@@ -182,19 +182,27 @@ class UpdateAckMsg:
     """Backup acknowledges one applied update.
 
     The paper's design deliberately does **not** ack updates (Section 4.3);
-    this message exists for the per-update-ack ablation and for the eager
-    (synchronous) replication baseline.
+    this message exists for the per-update-ack ablation, the eager
+    (synchronous) replication baseline, and the commutative/stable fast
+    path built on top of it (:mod:`repro.core.fastpath`).
+
+    ``high_water`` is the backup's acked source-time frontier for the
+    object — the highest source timestamp its stored version carries at
+    ack time.  A stale arrival still reports the *current* frontier, so
+    the primary's witness set converges even when acks race.  0.0 (the
+    epoch, before any write) on deployments predating the field.
     """
 
     object_id: int
     seq: int
+    high_water: float = 0.0
 
     TYPE = 10
 
 
 class _UpdateAckHeader(Header):
-    FORMAT = "!II"
-    FIELDS = ("object_id", "seq")
+    FORMAT = "!IId"
+    FIELDS = ("object_id", "seq", "high_water")
 
 
 @dataclass(frozen=True)
@@ -295,7 +303,8 @@ def encode_message(message: RTPBMessage) -> bytes:
         return _TYPE_TAG.pack(RecruitAckMsg.TYPE) + header.encode()
     if isinstance(message, UpdateAckMsg):
         header = _UpdateAckHeader(object_id=message.object_id,
-                                  seq=message.seq)
+                                  seq=message.seq,
+                                  high_water=message.high_water)
         return _TYPE_TAG.pack(UpdateAckMsg.TYPE) + header.encode()
     if isinstance(message, ReplicaSubscribeMsg):
         header = _ReplicaSubscribeHeader(
@@ -363,7 +372,8 @@ def decode_message(data: bytes) -> RTPBMessage:
         return RecruitAckMsg(backup_address=header.backup_address)
     if tag == UpdateAckMsg.TYPE:
         header = _UpdateAckHeader.decode(body)
-        return UpdateAckMsg(object_id=header.object_id, seq=header.seq)
+        return UpdateAckMsg(object_id=header.object_id, seq=header.seq,
+                            high_water=header.high_water)
     if tag == ReplicaSubscribeMsg.TYPE:
         header = _ReplicaSubscribeHeader.decode(body)
         return ReplicaSubscribeMsg(replica_address=header.replica_address,

@@ -15,8 +15,9 @@ One class plays every role in the paper's deployment:
 
 Trace categories: ``client_response``, ``client_write_rejected``,
 ``primary_write``, ``backup_apply``, ``backup_apply_stale``, ``retx_request``,
-``registration``, ``registration_replicated``, ``server_crash``,
-``server_recover``, ``failover``, ``backup_lost``, ``recruited``.
+``registration``, ``registration_replicated``, ``replication_degraded``,
+``server_crash``, ``server_recover``, ``failover``, ``backup_lost``,
+``recruited``.
 """
 
 from __future__ import annotations
@@ -146,6 +147,12 @@ class ReplicaServer:
         self.retx_requests_sent = 0
         self.retx_requests_served = 0
         self._register_acked: Set[int] = set()
+        #: Objects whose REGISTER replication exhausted its retries: the
+        #: transmitter keeps sending updates the backup silently drops.
+        #: Surfaced on the trace as ``replication_degraded`` (the
+        #: InvariantMonitor collects them) and reprobed on a slow cadence
+        #: until the backup finally admits the object.
+        self.degraded_objects: Set[int] = set()
         self._last_update_at: Dict[int, float] = {}
         #: Read-replica fan-out (repro.replicas): subscriber address →
         #: last time we heard from it (subscribe or freshness beacon).
@@ -213,6 +220,7 @@ class ReplicaServer:
         self.peer_address = None
         self._recruiting = False
         self._register_acked.clear()
+        self.degraded_objects.clear()
         self.replica_subscribers.clear()
         self.replica_floors.clear()
         self.sim.trace.record("server_recover", server=self.name)
@@ -399,13 +407,31 @@ class ReplicaServer:
 
     def _replicate_registration(self, spec: ObjectSpec,
                                 update_period: float, attempt: int = 0) -> None:
-        """Send REGISTER to the backup, retrying until acked (UDP is lossy)."""
+        """Send REGISTER to the backup, retrying until acked (UDP is lossy).
+
+        Exhausting ``registration_max_retries`` is not a silent drop: the
+        transmitter is still replicating an object the backup never
+        admitted (its updates are discarded on arrival), so the condition
+        is traced as ``replication_degraded`` — visible to the
+        InvariantMonitor — and a slow background reprobe keeps trying, so
+        the pair converges if the backup comes back within the run.
+        """
         if (not self.alive or self.peer_address is None
                 or spec.object_id in self._register_acked):
             return
         if attempt >= self.config.registration_max_retries:
             self.sim.trace.record("registration_gave_up",
                                   object=spec.object_id)
+            if spec.object_id not in self.degraded_objects:
+                self.degraded_objects.add(spec.object_id)
+                self.sim.trace.record(
+                    "replication_degraded", server=self.name,
+                    object=spec.object_id, reason="registration_unacked",
+                    attempts=attempt)
+            reprobe_delay = (self.config.registration_retry_period
+                             * self.config.registration_max_retries)
+            self.sim.schedule(reprobe_delay, self._replicate_registration,
+                              spec, update_period, 0)
             return
         self._send_to_peer(encode_message(RegisterMsg(
             object_id=spec.object_id, size_bytes=spec.size_bytes,
@@ -489,9 +515,14 @@ class ReplicaServer:
             if self.config.ack_updates:
                 # Ack stale arrivals too: the backup is at least as fresh as
                 # the received seq, and the original ack may have been lost —
-                # without this, a synchronous writer can wait forever.
+                # without this, a synchronous writer can wait forever.  The
+                # ack carries this store's acked source-time frontier (the
+                # fast path's stability rule); a stale arrival reports the
+                # *current* frontier, not the stale message's.
+                acked = self.store.get(message.object_id)
                 self._send_to_peer(encode_message(UpdateAckMsg(
-                    object_id=message.object_id, seq=message.seq)))
+                    object_id=message.object_id, seq=message.seq,
+                    high_water=acked.source_time)))
 
         self.processor.submit(name=f"apply-{message.object_id}", cost=cost,
                               action=apply)
@@ -520,8 +551,15 @@ class ReplicaServer:
 
     def _handle_register_ack(self, message: RegisterAckMsg,
                              source_address: int) -> None:
+        if source_address != self.peer_address:
+            # An in-flight ack from a previous (dead or deposed) backup.
+            # Accepting it would re-mark the object as replicated and the
+            # REGISTER retry loop toward the *current* backup would stop,
+            # leaving it without the object forever.
+            return
         if message.accepted:
             self._register_acked.add(message.object_id)
+            self.degraded_objects.discard(message.object_id)
             self.sim.trace.record("registration_replicated",
                                   object=message.object_id,
                                   backup=source_address)
@@ -664,6 +702,7 @@ class ReplicaServer:
             self.transmitter.stop()
             self.peer_address = None
             self._register_acked.clear()
+            self.degraded_objects.clear()
             self._recruit_backup()
         elif self.role is Role.BACKUP and self.config.failover_enabled:
             self.promote()
@@ -737,6 +776,12 @@ class ReplicaServer:
         self.peer_address = message.backup_address
         if message.backup_address in self.spare_addresses:
             self.spare_addresses.remove(message.backup_address)
+        # Re-arm per-object registration state for the *new* backup: an
+        # in-flight RegisterAck from the old one may have re-populated the
+        # acked set after _peer_dead cleared it, which would silently skip
+        # the REGISTER below and leave the recruit without those objects.
+        self._register_acked.clear()
+        self.degraded_objects.clear()
         # Replicate registrations, transfer state, resume update tasks.
         for record in self.store:
             self._replicate_registration(record.spec,

@@ -27,7 +27,9 @@ from repro.units import ms
 
 FIGURES = {
     "fig6": figures.figure6_response_time_with_admission,
+    "fig6fp": figures.figure6_fastpath_overlay,
     "fig7": figures.figure7_response_time_without_admission,
+    "fig7fp": figures.figure7_fastpath_overlay,
     "fig8": figures.figure8_distance_vs_loss,
     "fig9": figures.figure9_distance_with_admission,
     "fig10": figures.figure10_distance_without_admission,
@@ -39,7 +41,9 @@ FIGURES = {
 
 _QUICK_OVERRIDES = {
     "fig6": dict(object_counts=(8, 32), windows=(ms(100), ms(400))),
+    "fig6fp": dict(object_counts=(8, 32)),
     "fig7": dict(object_counts=(8, 56), windows=(ms(100), ms(400))),
+    "fig7fp": dict(object_counts=(8, 56)),
     "fig8": dict(loss_probabilities=(0.0, 0.1),
                  write_periods=(ms(50), ms(200))),
     "fig9": dict(object_counts=(8, 56), windows=(ms(100),)),

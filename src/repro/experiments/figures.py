@@ -118,6 +118,72 @@ def _response_series(name: str, object_counts: Sequence[int],
                   lambda outcome: outcome.metrics.response.mean)
 
 
+def figure6_fastpath_overlay(
+        object_counts: Sequence[int] = DEFAULT_OBJECT_COUNTS,
+        window: float = ms(200.0), horizon: float = 10.0,
+        seed: int = 0, jobs: int = 1) -> Series:
+    """Figure 6 overlay: eager vs eager+fastpath response time, admission ON.
+
+    The Fig 6 sweep re-run under the synchronous eager baseline and under
+    eager with the commutative/timestamp-stable fast path
+    (:mod:`repro.core.fastpath`), at one window size — mean and p99 per
+    discipline, so the fast path's response-time reduction is read directly
+    off the table.
+    """
+    return _fastpath_overlay_series(
+        "Figure 6 overlay: eager vs fast-path response time with admission "
+        "control", object_counts, window, True, horizon, seed, jobs)
+
+
+def figure7_fastpath_overlay(
+        object_counts: Sequence[int] = DEFAULT_OBJECT_COUNTS,
+        window: float = ms(200.0), horizon: float = 10.0,
+        seed: int = 0, jobs: int = 1) -> Series:
+    """Figure 7 overlay: eager vs eager+fastpath response time, admission OFF.
+
+    As :func:`figure6_fastpath_overlay` but without admission control, so
+    the overlay also shows how each discipline degrades past the capacity
+    knee (the fast path cannot rescue an overloaded primary — it removes
+    the round trip, not the processing).
+    """
+    return _fastpath_overlay_series(
+        "Figure 7 overlay: eager vs fast-path response time without "
+        "admission control", object_counts, window, False, horizon, seed,
+        jobs)
+
+
+def _fastpath_overlay_series(name: str, object_counts: Sequence[int],
+                             window: float, admission: bool, horizon: float,
+                             seed: int, jobs: int = 1) -> Series:
+    """Two runs per point (eager / eager+fastpath), two curves per run
+    (mean / p99).  Seeds derive from the replication label too, so the two
+    disciplines see independent jitter — the comparison is across seeds,
+    as in the paper's sweeps."""
+    series = Series(name=name, x_label="objects",
+                    y_label="response (ms)", curve_label="discipline")
+    labels = {"eager": "eager", "eager_fastpath": "eager+fastpath"}
+    specs = [
+        RunSpec(
+            scenario=Scenario(
+                n_objects=count, window=window, client_period=ms(100.0),
+                admission_enabled=admission, horizon=horizon,
+                replication=replication,
+                seed=derive_seed(seed, "response_fastpath", replication,
+                                 count)),
+            key=(labels[replication], count))
+        for replication in ("eager", "eager_fastpath")
+        for count in object_counts
+    ]
+    for outcome in run_specs(specs, jobs=jobs):
+        assert outcome.key is not None
+        label, count = outcome.key
+        series.add_point(f"{label} mean", count,
+                         to_ms(outcome.metrics.response.mean))
+        series.add_point(f"{label} p99", count,
+                         to_ms(outcome.metrics.response.p99))
+    return series
+
+
 # ---------------------------------------------------------------------------
 # Figure 8: distance vs loss probability, per client write rate
 # ---------------------------------------------------------------------------

@@ -33,6 +33,9 @@ from repro.metrics.collectors import (
     SummaryStats,
     average_inconsistency_duration,
     average_max_distance,
+    degraded_responses,
+    fastpath_hit_rate,
+    fastpath_response_split,
     primary_fallback_rate,
     read_slo_violations,
     read_staleness_stats,
@@ -78,6 +81,12 @@ METRIC_TRACE_CATEGORIES = (
     "read_unserved",
     "replica_subscribe",
     "replica_sync",
+    # Fast path / degraded states (PR 8).  Paper-faithful runs never emit
+    # these, so enabling them leaves historical trace digests byte-identical.
+    "fastpath_commit",
+    "fastpath_drain",
+    "client_response_degraded",
+    "replication_degraded",
 )
 
 
@@ -102,6 +111,13 @@ class RunMetrics:
         default_factory=SummaryStats.empty)
     slo_violations: int = 0
     fallback_rate: float = 0.0
+    #: Fast path (repro.core.fastpath); inert defaults elsewhere.
+    fastpath_hit_rate: float = 0.0
+    fast_response: SummaryStats = field(default_factory=SummaryStats.empty)
+    deferred_response: SummaryStats = field(
+        default_factory=SummaryStats.empty)
+    #: Writes completed degraded (backup died before acking; eager only).
+    degraded_responses: int = 0
 
     @property
     def mean_response(self) -> float:
@@ -205,6 +221,7 @@ def collect(scenario: Scenario, service: RTPBService,
             warmup: float = 2.0) -> RunMetrics:
     """Compute :class:`RunMetrics` for an already-finished run."""
     horizon = scenario.horizon
+    split = fastpath_response_split(service, start=warmup)
     return RunMetrics(
         admitted=len(service.registered_specs()),
         response=response_time_stats(service, start=warmup),
@@ -217,4 +234,8 @@ def collect(scenario: Scenario, service: RTPBService,
         read_staleness=read_staleness_stats(service, start=warmup),
         slo_violations=read_slo_violations(service),
         fallback_rate=primary_fallback_rate(service, start=warmup),
+        fastpath_hit_rate=fastpath_hit_rate(service, start=warmup),
+        fast_response=split["fast"],
+        deferred_response=split["deferred"],
+        degraded_responses=degraded_responses(service),
     )

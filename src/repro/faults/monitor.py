@@ -22,6 +22,15 @@ Violations are collected on :attr:`InvariantMonitor.violations`, traced as
 ``invariant_violation`` records, and optionally reported through a callback
 — all at the virtual instant they are *detected*, not after the run.
 
+Servers additionally surface *degraded* states — conditions that are not
+invariant violations but that an operator must see: ``replication_degraded``
+(registration replication exhausted its retries; the backup is silently
+dropping that object's updates) and ``client_response_degraded`` (the eager
+baseline flushed a deferred write because its backup died unacked).  The
+monitor collects these on :attr:`InvariantMonitor.degraded` — separate from
+:attr:`violations`, so a chaos run that *expects* degradation still reports
+zero unexpected violations.
+
 Trace categories: ``invariant_violation``.
 """
 
@@ -41,6 +50,10 @@ TEMPORAL_WINDOW = "temporal_window"
 SPLIT_BRAIN = "split_brain"
 MISSED_FAILOVER = "missed_failover"
 REPLICA_STALENESS = "replica_staleness"
+
+#: Degraded-state kinds (collected on ``InvariantMonitor.degraded``; these
+#: are observability findings, not invariant violations).
+DEGRADED_KINDS = ("replication_degraded", "client_response_degraded")
 
 
 def _server_name(server: Any) -> str:
@@ -86,6 +99,9 @@ class InvariantMonitor:
         self.grace = (grace if grace is not None else
                       config.ell + max(8, len(specs)) * config.apply_cost_base)
         self.violations: List[InvariantViolation] = []
+        #: Degraded-state findings (see module docstring) — observability,
+        #: not violations; :meth:`degraded_counts` summarises them.
+        self.degraded: List[InvariantViolation] = []
         self._windows: Dict[int, float] = {
             spec.object_id: spec.window for spec in specs}
         #: Per object: write instants not yet covered by a backup apply.
@@ -121,6 +137,13 @@ class InvariantMonitor:
             counts[violation.kind] = counts.get(violation.kind, 0) + 1
         return counts
 
+    def degraded_counts(self) -> Dict[str, int]:
+        """Histogram kind -> count of collected degraded states."""
+        counts: Dict[str, int] = {}
+        for finding in self.degraded:
+            counts[finding.kind] = counts.get(finding.kind, 0) + 1
+        return counts
+
     # ------------------------------------------------------------------
     # Trace dispatch
     # ------------------------------------------------------------------
@@ -153,6 +176,10 @@ class InvariantMonitor:
             self._schedule_split_check()
         elif category == "read_served":
             self._on_read_served(record)
+        elif category in DEGRADED_KINDS:
+            if self._is_member(record.get("server")):
+                self.degraded.append(InvariantViolation(
+                    record.time, category, dict(record.fields)))
         elif category == "server_recover":
             if self._is_member(record.get("server")):
                 self._schedule_split_check()

@@ -80,6 +80,25 @@ def outcome_report(chaos: ChaosScenario, seed: int,
             "read_slo_violations": metrics.slo_violations,
             "fallback_rate": metrics.fallback_rate,
         }
+    # Fast-path numbers appear only when the workload took fast replies or
+    # flushed degraded completions, for the same byte-stability reason.
+    fastpath_metrics: Dict[str, Any] = {}
+    if metrics.fast_response.count or metrics.degraded_responses:
+        fastpath_metrics = {
+            "fastpath_hit_rate": metrics.fastpath_hit_rate,
+            "fast_mean_response": metrics.fast_response.mean,
+            "deferred_mean_response": metrics.deferred_response.mean,
+            "degraded_responses": metrics.degraded_responses,
+        }
+    invariants: Dict[str, Any] = {
+        "violations": jsonable(outcome.violations),
+        "violation_counts": dict(outcome.violation_counts),
+        "unexpected": jsonable(
+            [violation for violation in outcome.violations
+             if violation["kind"] not in expected]),
+    }
+    if outcome.degraded_counts:
+        invariants["degraded_counts"] = dict(outcome.degraded_counts)
     return {
         "scenario": {
             "name": chaos.name,
@@ -93,13 +112,7 @@ def outcome_report(chaos: ChaosScenario, seed: int,
             "scheduled": chaos.schedule.describe(),
             "applied": list(outcome.faults_applied),
         },
-        "invariants": {
-            "violations": jsonable(outcome.violations),
-            "violation_counts": dict(outcome.violation_counts),
-            "unexpected": jsonable(
-                [violation for violation in outcome.violations
-                 if violation["kind"] not in expected]),
-        },
+        "invariants": invariants,
         "metrics": jsonable({
             "admitted": metrics.admitted,
             "mean_response": metrics.response.mean,
@@ -110,6 +123,7 @@ def outcome_report(chaos: ChaosScenario, seed: int,
             "delivery_rate": metrics.delivery_rate,
             "duplicate_deliveries": outcome.duplicate_deliveries,
             **read_metrics,
+            **fastpath_metrics,
         }),
         "network": dict(outcome.network),
         "trace_digest": outcome.trace_digest,

@@ -169,6 +169,59 @@ def degraded_network(seed: int = 0) -> ChaosScenario:
     )
 
 
+def fastpath_backup_crash(seed: int = 0) -> ChaosScenario:
+    """Fast-path eager pair loses its backup mid-run, then re-pairs.
+
+    The eager+fastpath primary is answering most writes before the backup
+    ack when the backup fail-stops at t=5.  Every pending deferred write
+    must flush as a traced degraded response (no callback may leak), the
+    witness set must drain before fast replies resume against the
+    recruited spare, and no *invariant* may break — degraded states are
+    expected operator-visible findings, not violations.
+    """
+    workload = Scenario(n_objects=4, window=ms(200.0), client_period=ms(100.0),
+                        horizon=20.0, seed=seed, n_spares=1,
+                        replication="eager_fastpath")
+    schedule = FaultSchedule().crash(5.0, BACKUP_ADDRESS)
+    return ChaosScenario(
+        name="fastpath_backup_crash",
+        description="fast-path eager: backup fail-stop, degraded flush, "
+                    "witness drain on re-pair",
+        workload=workload,
+        schedule=schedule,
+        expected_violations=(),
+    )
+
+
+def fastpath_primary_failover(seed: int = 0) -> ChaosScenario:
+    """Fast-path eager primary fail-stops; the backup promotes and drains.
+
+    The promoted backup must reseed its witness set from its own store,
+    push state to the recruited spare, and keep the fast path off until
+    every reseeded version is acked — only then may it answer clients
+    before the ack again.  At t=12 that promoted primary is itself
+    crash-cycled: the recruited spare promotes in turn (second failover,
+    second drain), runs unpaired with the fast path off until the rebooted
+    host rejoins as a spare at t=14, and drains once more on re-pairing.
+    No invariant violations are expected; the monitor's split-brain and
+    temporal-window checks must stay silent through every transition.
+    """
+    workload = Scenario(n_objects=4, window=ms(200.0), client_period=ms(100.0),
+                        horizon=25.0, seed=seed, n_spares=1,
+                        replication="eager_fastpath")
+    schedule = (FaultSchedule()
+                .crash(5.0, PRIMARY_ADDRESS)
+                .crash_cycle(12.0, 2.0, BACKUP_ADDRESS))
+    return ChaosScenario(
+        name="fastpath_primary_failover",
+        description="fast-path eager: primary fail-stop, witness drain on "
+                    "failover, second churn round",
+        workload=workload,
+        schedule=schedule,
+        expected_violations=(),
+    )
+
+
 def cluster_group_outage(seed: int = 0) -> ChaosScenario:
     """Sharded cluster under compound faults, one blast radius at a time.
 
@@ -248,6 +301,8 @@ SCENARIOS: Dict[str, Callable[[int], ChaosScenario]] = {
         backup_flapping,
         crash_plus_partition,
         degraded_network,
+        fastpath_backup_crash,
+        fastpath_primary_failover,
         cluster_group_outage,
         cluster_replica_outage,
     )

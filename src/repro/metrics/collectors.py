@@ -111,13 +111,83 @@ def response_time_stats(service: RTPBService,
 
 def unanswered_writes(service: RTPBService,
                       objects: Optional[Iterable[int]] = None) -> int:
-    """Writes issued whose RPC never completed (overload starvation)."""
+    """Writes issued whose RPC never completed (overload starvation).
+
+    Degraded completions (``client_response_degraded`` — the eager
+    baseline flushing deferred writes when the backup dies) answered their
+    client too, so they count as answered even though they are excluded
+    from the response-time distribution.
+    """
     ids = None if objects is None else set(objects)
     issued = sum(client.writes_issued for client in service.clients)
     answered = sum(
-        1 for record in service.trace.select("client_response")
+        1 for record in (service.trace.select("client_response")
+                         + service.trace.select("client_response_degraded"))
         if ids is None or record["object"] in ids)
     return max(0, issued - answered)
+
+
+# ---------------------------------------------------------------------------
+# Commutative/stable fast path (repro.core.fastpath)
+# ---------------------------------------------------------------------------
+
+
+def fastpath_hit_rate(service: RTPBService, start: float = 0.0,
+                      objects: Optional[Iterable[int]] = None) -> float:
+    """Fraction of answered writes the fast path replied to early.
+
+    Counts ``client_response`` records with ``path == "fast"`` against all
+    path-tagged responses (the tag exists only on fast-path deployments).
+    0.0 when no write carried a path tag — i.e. on every run without the
+    fast path.
+    """
+    ids = None if objects is None else set(objects)
+    fast = total = 0
+    for record in service.trace.select("client_response"):
+        if record["issue"] < start or (ids is not None
+                                       and record["object"] not in ids):
+            continue
+        path = record.get("path")
+        if path is None:
+            continue
+        total += 1
+        if path == "fast":
+            fast += 1
+    if total == 0:
+        return 0.0
+    return fast / total
+
+
+def fastpath_response_split(service: RTPBService, start: float = 0.0,
+                            objects: Optional[Iterable[int]] = None
+                            ) -> Dict[str, SummaryStats]:
+    """Response-time distributions keyed by reply path.
+
+    ``"fast"`` — answered before the backup ack; ``"deferred"`` — the
+    paper's defer-until-ack path.  Untagged responses (non-fast-path runs)
+    land under ``"deferred"``, so the split degenerates gracefully to the
+    plain distribution.
+    """
+    ids = None if objects is None else set(objects)
+    split: Dict[str, List[float]] = {"fast": [], "deferred": []}
+    for record in service.trace.select("client_response"):
+        if record["issue"] < start or (ids is not None
+                                       and record["object"] not in ids):
+            continue
+        path = record.get("path")
+        bucket = "fast" if path == "fast" else "deferred"
+        split[bucket].append(record["response"])
+    return {path: summarize(values) for path, values in split.items()}
+
+
+def degraded_responses(service: RTPBService, start: float = 0.0,
+                       objects: Optional[Iterable[int]] = None) -> int:
+    """Writes completed degraded (flushed when the backup died unacked)."""
+    ids = None if objects is None else set(objects)
+    return sum(
+        1 for record in service.trace.select("client_response_degraded")
+        if record["issue"] >= start
+        and (ids is None or record["object"] in ids))
 
 
 # ---------------------------------------------------------------------------

@@ -78,6 +78,8 @@ class RunOutcome:
     #: Violations the online monitor flagged (``to_dict()`` form).
     violations: List[Dict[str, Any]] = field(default_factory=list)
     violation_counts: Dict[str, int] = field(default_factory=dict)
+    #: Degraded-state findings (operator-visible, *not* violations).
+    degraded_counts: Dict[str, int] = field(default_factory=dict)
     #: Worker-side wall time of the run, seconds.
     wall_s: float = 0.0
     key: Optional[Tuple[Any, ...]] = None
@@ -134,6 +136,9 @@ def outcome_from_result(result: RunResult, wall_s: float = 0.0,
         if monitor is not None else [],
         violation_counts=monitor.violation_counts()
         if monitor is not None else {},
+        degraded_counts=monitor.degraded_counts()
+        if monitor is not None and hasattr(monitor, "degraded_counts")
+        else {},
         wall_s=wall_s,
         key=key,
     )

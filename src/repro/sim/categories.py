@@ -53,6 +53,12 @@ RETX_REQUEST = "retx_request"
 UPDATE_ACK = "update_ack"
 UPDATE_SENT = "update_sent"
 
+# -- commutative / timestamp-stable fast path (repro.core.fastpath) --------
+FASTPATH_COMMIT = "fastpath_commit"
+FASTPATH_DRAIN = "fastpath_drain"
+CLIENT_RESPONSE_DEGRADED = "client_response_degraded"
+REPLICATION_DEGRADED = "replication_degraded"
+
 # -- failure detection / recovery ------------------------------------------
 PING_MISS = "ping_miss"
 PEER_DECLARED_DEAD = "peer_declared_dead"

@@ -66,6 +66,11 @@ class Scenario:
     ell: float = ms(5.0)
     #: Random client-write jitter half-width, seconds.
     write_jitter: float = ms(2.0)
+    #: Replication discipline: ``"rtpb"`` (the paper's decoupled periodic
+    #: transmission), ``"eager"`` (synchronous defer-until-ack baseline), or
+    #: ``"eager_fastpath"`` (eager plus the commutative/timestamp-stable
+    #: fast path of :mod:`repro.core.fastpath`).
+    replication: str = "rtpb"
     #: Read replicas attached to the deployment (0 = paper-faithful: none).
     n_replicas: int = 0
     #: Per-object read period of the reader population, seconds
@@ -93,9 +98,30 @@ class Scenario:
         return ping_misses_for_loss(self.loss_probability)
 
 
+def _service_class(replication: str) -> type:
+    """Resolve the replication discipline to a service facade class.
+
+    Local imports keep the layering acyclic (baselines import repro.core;
+    this module is imported by repro.core consumers).
+    """
+    if replication == "rtpb":
+        return RTPBService
+    if replication == "eager":
+        from repro.baselines.eager import EagerService
+
+        return EagerService
+    if replication == "eager_fastpath":
+        from repro.baselines.fastpath import FastPathEagerService
+
+        return FastPathEagerService
+    raise ValueError(
+        f"unknown replication discipline {replication!r}; known: "
+        f"rtpb, eager, eager_fastpath")
+
+
 def build_scenario(scenario: Scenario) -> RTPBService:
     """Instantiate a service per ``scenario``: objects registered, client attached."""
-    service = RTPBService(
+    service = _service_class(scenario.replication)(
         config=scenario.config(),
         seed=scenario.seed,
         loss_model=scenario.loss_model(),

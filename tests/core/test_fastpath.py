@@ -1,0 +1,131 @@
+"""Unit tests for the fast-path decision machinery (repro.core.fastpath).
+
+Pure-logic coverage of :class:`WitnessSet` (unsynced tracking, cumulative
+acks, the source-time high-water mark) and :class:`FastPathPolicy` (the
+commute and stable qualification rules).  Wiring into the eager server is
+covered in ``tests/baselines/test_fastpath.py``.
+"""
+
+import math
+
+from repro.core.fastpath import (
+    RULE_COMMUTE,
+    RULE_STABLE,
+    FastPathPolicy,
+    WitnessSet,
+)
+from repro.core.spec import InterObjectConstraint
+from repro.units import ms
+
+
+def test_witness_then_ack_retires_the_update():
+    witness = WitnessSet()
+    witness.witness(0, seq=1, source_time=1.0)
+    assert witness.has_unsynced(0)
+    assert witness.unsynced_count(0) == 1
+    witness.ack(0, seq=1, high_water=1.0)
+    assert not witness.has_unsynced(0)
+    assert not witness.any_unsynced()
+
+
+def test_ack_is_cumulative_over_older_seqs():
+    witness = WitnessSet()
+    for seq in (1, 2, 3):
+        witness.witness(0, seq=seq, source_time=float(seq))
+    witness.ack(0, seq=2, high_water=2.0)
+    assert witness.unsynced_count(0) == 1  # only seq 3 left
+    witness.ack(0, seq=3, high_water=3.0)
+    assert not witness.any_unsynced()
+
+
+def test_stale_witness_after_ack_is_ignored():
+    """A duplicate/reordered send of an already-acked seq must not
+    resurrect it as unsynced — that would wedge a drain forever."""
+    witness = WitnessSet()
+    witness.witness(0, seq=1, source_time=1.0)
+    witness.ack(0, seq=2, high_water=2.0)
+    witness.witness(0, seq=2, source_time=2.0)  # late duplicate
+    assert not witness.has_unsynced(0)
+
+
+def test_high_water_moves_forward_only():
+    witness = WitnessSet()
+    assert witness.high_water(0) == float("-inf")
+    witness.ack(0, seq=2, high_water=5.0)
+    witness.ack(0, seq=1, high_water=3.0)  # reordered older ack
+    assert witness.high_water(0) == 5.0
+    # The reordered ack must not resurrect retired seqs either.
+    witness.witness(0, seq=3, source_time=6.0)
+    witness.ack(0, seq=3, high_water=6.0)
+    assert witness.high_water(0) == 6.0
+
+
+def test_unsynced_objects_sorted_and_totals():
+    witness = WitnessSet()
+    witness.witness(7, seq=1, source_time=1.0)
+    witness.witness(2, seq=1, source_time=1.0)
+    witness.witness(2, seq=2, source_time=2.0)
+    assert witness.unsynced_objects() == [2, 7]
+    assert witness.total_unsynced() == 3
+    witness.forget(2)
+    assert witness.unsynced_objects() == [7]
+    witness.clear()
+    assert not witness.any_unsynced()
+    assert witness.high_water(7) == float("-inf")
+
+
+def test_unconstrained_write_commutes():
+    policy = FastPathPolicy()
+    witness = WitnessSet()
+    witness.witness(1, seq=1, source_time=1.0)  # some other object
+    assert policy.qualify(0, 2.0, witness) == RULE_COMMUTE
+
+
+def test_same_object_unsynced_still_commutes():
+    """Per-object LWW snapshots commute trivially: an unsynced older
+    version of the *same* object never blocks the next write."""
+    policy = FastPathPolicy()
+    witness = WitnessSet()
+    witness.witness(0, seq=1, source_time=1.0)
+    assert policy.qualify(0, 2.0, witness) == RULE_COMMUTE
+
+
+def test_constrained_partner_blocks():
+    policy = FastPathPolicy([InterObjectConstraint(0, 1, ms(100))])
+    witness = WitnessSet()
+    witness.witness(1, seq=1, source_time=1.0)
+    assert policy.qualify(0, 2.0, witness) is None
+    # The coupling is symmetric.
+    witness2 = WitnessSet()
+    witness2.witness(0, seq=1, source_time=1.0)
+    assert policy.qualify(1, 2.0, witness2) is None
+
+
+def test_stable_rule_rescues_partner_blocked_write():
+    """A write whose source timestamp is at or below the backup's acked
+    high-water mark qualifies even when a constrained partner is
+    unsynced — replicated state already dominates it."""
+    policy = FastPathPolicy([InterObjectConstraint(0, 1, ms(100))])
+    witness = WitnessSet()
+    witness.ack(0, seq=3, high_water=5.0)
+    witness.witness(1, seq=1, source_time=4.9)  # partner unsynced
+    assert policy.qualify(0, 5.0, witness) == RULE_STABLE
+    assert policy.qualify(0, 5.1, witness) is None
+
+
+def test_refresh_rebuilds_partner_map():
+    policy = FastPathPolicy([InterObjectConstraint(0, 1, ms(100))])
+    assert policy.partners(0) == [1]
+    policy.refresh([InterObjectConstraint(0, 2, ms(100)),
+                    InterObjectConstraint(2, 3, ms(100))])
+    assert policy.partners(0) == [2]
+    assert policy.partners(2) == [0, 3]
+    assert policy.partners(1) == []
+
+
+def test_fresh_object_defaults():
+    witness = WitnessSet()
+    assert not witness.has_unsynced(42)
+    assert witness.unsynced_count(42) == 0
+    assert witness.total_unsynced() == 0
+    assert math.isinf(witness.high_water(42))

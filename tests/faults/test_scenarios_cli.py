@@ -38,6 +38,23 @@ def test_split_brain_scenario_flags_split_brain():
     assert run.unexpected_violations() == []
 
 
+@pytest.mark.parametrize("name", ["fastpath_backup_crash",
+                                  "fastpath_primary_failover"])
+def test_fastpath_chaos_keeps_every_invariant(name):
+    """Acceptance: the fast path under churn provokes *zero* invariant
+    violations — early replies never outrun what a failover can prove."""
+    run = run_chaos(name, seed=1)
+    assert run.result.monitor.violation_counts() == {}
+    assert run.unexpected_violations() == []
+    # The fast path actually engaged (the run is not vacuous) ...
+    trace = run.result.service.trace
+    assert trace.select("fastpath_commit")
+    # ... and the failure transition ran the drain protocol to completion.
+    phases = [record["phase"]
+              for record in trace.select("fastpath_drain")]
+    assert "start" in phases and "complete" in phases
+
+
 def test_report_dict_carries_fault_log_and_digest():
     run = run_chaos("crash_plus_partition", seed=2)
     report = report_dict(run)
