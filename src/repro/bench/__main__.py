@@ -62,11 +62,26 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(0 = one per CPU; default: $REPRO_JOBS or 1); "
                              "deterministic fields are byte-identical for "
                              "any value")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="run every scenario N times and record the "
+                             "minimum wall time (host-noise defence for "
+                             "committed baselines); deterministic fields "
+                             "must agree across repeats")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each scenario under cProfile and write "
+                             "the top-25 cumulative hotspots to "
+                             "<output>.profile.json (requires --jobs 1; "
+                             "wall times become profiler-inflated)")
     parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
                         help="diff two BENCH documents instead of running")
     parser.add_argument("--threshold", type=float, default=0.2,
                         help="fractional throughput drop that counts as a "
                              "regression (default 0.2)")
+    parser.add_argument("--benches", metavar="NAME[,NAME...]",
+                        action="append", default=[],
+                        help="with --compare: restrict the comparison to "
+                             "these benches (repeatable); names absent "
+                             "from both documents are an error")
     parser.add_argument("--require-identical", action="store_true",
                         help="with --compare: fail unless every "
                              "deterministic field (digest, event counts, "
@@ -102,16 +117,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_list_scenarios())
         return 0
     if args.compare:
+        only_benches: List[str] = []
+        for chunk in args.benches:
+            only_benches.extend(name for name in chunk.split(",") if name)
         old_doc = _load_document(parser, args.compare[0])
         new_doc = _load_document(parser, args.compare[1])
         try:
             report = compare_documents(
                 old_doc, new_doc, threshold=args.threshold,
-                require_identical=args.require_identical)
+                require_identical=args.require_identical,
+                benches=only_benches or None)
         except ValueError as exc:
             parser.error(str(exc))
         print(report.render())
         return report.exit_code
+    if args.benches:
+        parser.error("--benches only applies to --compare")
 
     names: List[str] = []
     for chunk in args.only:
@@ -121,10 +142,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs = resolve_jobs(args.jobs)
     except ValueError as exc:
         parser.error(str(exc))
+    if args.profile and jobs > 1:
+        parser.error("--profile requires --jobs 1 (profiles are per-process)")
+    if args.profile and args.repeat > 1:
+        parser.error("--profile implies --repeat 1 (profiled wall times "
+                     "are inflated; min-of-N would be meaningless)")
+    if args.repeat < 1:
+        parser.error(f"--repeat must be >= 1, got {args.repeat}")
+    profiles: Optional[Dict[str, Any]] = {} if args.profile else None
     try:
         document = run_suite(names=names or None, quick=args.quick, rev=rev,
                              echo=lambda line: print(line, file=sys.stderr),
-                             jobs=jobs)
+                             jobs=jobs, profiles=profiles,
+                             repeat=args.repeat)
     except KeyError as exc:
         parser.error(str(exc.args[0]) if exc.args else str(exc))
     text = stable_dumps(document)
@@ -135,6 +165,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     except OSError as exc:
         parser.error(f"cannot write --output {output}: {exc}")
     print(output)
+    if profiles is not None:
+        profile_doc = {
+            "schema": 1,
+            "meta": {"rev": rev, "quick": args.quick, "top": 25},
+            "profiles": profiles,
+        }
+        profile_path = f"{output}.profile.json"
+        try:
+            with open(profile_path, "w", encoding="utf-8") as handle:
+                handle.write(stable_dumps(profile_doc) + "\n")
+        except OSError as exc:
+            parser.error(f"cannot write {profile_path}: {exc}")
+        print(profile_path)
     return 0
 
 

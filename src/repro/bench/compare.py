@@ -12,12 +12,20 @@ deterministic field: two documents produced by the same revision — e.g.
 a ``--jobs 1`` and a ``--jobs 4`` run — must agree byte-for-byte on
 digests, event counts, and extra counters, or the comparison fails.
 Wall time and throughput stay ungated there; they are host noise.
+Coverage may only grow: a bench that *disappears* fails the gate, while a
+bench present only in the new document is reported but passes — a
+revision adding scenarios must not be forced to rewrite history for the
+old baseline.
+
+``benches`` narrows the whole comparison to a named subset — the CI
+perf-trend step uses it to gate ``sim_engine`` throughput against the
+committed baseline without re-litigating every scenario's wall time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 #: Per-bench fields that are pure functions of revision + scenario + seed.
 #: ``wall_s`` / ``events_per_sec`` are deliberately absent: the
@@ -45,16 +53,17 @@ class CompareReport:
 
     threshold: float
     deltas: List[Delta] = field(default_factory=list)
-    #: Benches only in the old document (coverage shrank).
+    #: Benches only in the old document (coverage shrank — gated under
+    #: ``require_identical``).
     missing: List[str] = field(default_factory=list)
-    #: Benches only in the new document.
+    #: Benches only in the new document (new coverage — never gated).
     added: List[str] = field(default_factory=list)
     #: Benches whose deterministic digests differ (informational).
     digest_changes: List[str] = field(default_factory=list)
     #: Benches where *any* deterministic field differs (superset of
     #: ``digest_changes``; gated only under ``require_identical``).
     determinism_diffs: List[str] = field(default_factory=list)
-    #: When set, determinism diffs and coverage changes fail the compare.
+    #: When set, determinism diffs and coverage *loss* fail the compare.
     require_identical: bool = False
 
     @property
@@ -63,11 +72,15 @@ class CompareReport:
 
     @property
     def determinism_failures(self) -> List[str]:
-        """Benches that break the identical-documents contract."""
+        """Benches that break the identical-documents contract.
+
+        ``added`` benches are deliberately absent: there is nothing for a
+        brand-new scenario to be identical *to*, and gating it would force
+        every scenario-adding revision to rewrite its old baseline.
+        """
         if not self.require_identical:
             return []
-        return sorted(set(self.determinism_diffs)
-                      | set(self.missing) | set(self.added))
+        return sorted(set(self.determinism_diffs) | set(self.missing))
 
     @property
     def exit_code(self) -> int:
@@ -130,12 +143,31 @@ def _deterministic_view(bench: Mapping[str, Any]) -> Dict[str, Any]:
 
 def compare_documents(old: Mapping[str, Any], new: Mapping[str, Any],
                       threshold: float = 0.2,
-                      require_identical: bool = False) -> CompareReport:
-    """Compare two BENCH documents; flag drops worse than ``threshold``."""
+                      require_identical: bool = False,
+                      benches: Optional[Iterable[str]] = None
+                      ) -> CompareReport:
+    """Compare two BENCH documents; flag drops worse than ``threshold``.
+
+    ``benches`` restricts the comparison (deltas, coverage, determinism)
+    to the named benches; a name found in neither document raises
+    :class:`ValueError` so a typo cannot silently gate nothing.
+    """
     if not 0.0 < threshold < 1.0:
         raise ValueError(f"threshold must be in (0, 1): {threshold!r}")
     old_benches = dict(old.get("benches", {}))
     new_benches = dict(new.get("benches", {}))
+    if benches is not None:
+        requested = sorted(set(benches))
+        unknown = [name for name in requested
+                   if name not in old_benches and name not in new_benches]
+        if unknown:
+            raise ValueError(
+                f"--benches name(s) not in either document: "
+                f"{', '.join(unknown)}")
+        old_benches = {name: bench for name, bench in old_benches.items()
+                       if name in requested}
+        new_benches = {name: bench for name, bench in new_benches.items()
+                       if name in requested}
     deltas: List[Delta] = []
     digest_changes: List[str] = []
     determinism_diffs: List[str] = []

@@ -202,6 +202,77 @@ def tracer_select(quick: bool) -> BenchStats:
     )
 
 
+@register("sim_release_storm")
+def sim_release_storm(quick: bool) -> BenchStats:
+    """Periodic release machinery: many tasks re-arming macro-events.
+
+    A processor runs dozens of staggered periodic tasks (some jittered, so
+    the release loops draw their jitter streams), which is exactly the
+    workload the batched release path coalesces: every period is one
+    re-armed macro-event instead of a fresh engine event.  The trace is
+    narrowed to ``job_finish`` so the scheduler's other categories
+    (``job_release``, ``job_preempt``, ...) exercise the tracer's dead
+    fast path the way a long figure sweep does; the digest over the finish
+    records pins the interleaving produced by the release machinery.
+    """
+    from repro.sched.processor import Processor
+    from repro.sched.task import Task
+
+    sim = Simulator(seed=2)
+    sim.trace.enable_only("job_finish")
+    cpu = Processor(sim, name="storm")
+    n_tasks = 20 if quick else 60
+    horizon = 4.0 if quick else 16.0
+    for index in range(n_tasks):
+        period = 0.005 + 0.00025 * index
+        cpu.add_task(Task(
+            name=f"t{index:03d}", period=period,
+            wcet=period * (0.5 / n_tasks),
+            phase=0.0001 * index,
+            release_jitter=0.0005 if index % 4 == 0 else 0.0))
+    sim.run(until=horizon)
+    return BenchStats(
+        events_executed=sim.events_executed,
+        peak_live_events=_peak_live(sim),
+        trace_records=len(sim.trace),
+        digest=sim.trace.digest(),
+        extra={"tasks": n_tasks,
+               "jobs_completed": cpu.jobs_completed,
+               "deadline_misses": cpu.deadline_misses},
+    )
+
+
+@register("trace_dead_path")
+def trace_dead_path(quick: bool) -> BenchStats:
+    """Guarded tracing with 19 of 20 categories filtered out.
+
+    Models a narrowed long run: call sites check ``enabled(category)``
+    before building their fields, so the dead categories must cost one
+    cached lookup and nothing else.  A tracer without the fast path pays a
+    kwargs dict plus filter logic on every one of these calls.
+    """
+    clock = _Clock()
+    tracer = Tracer(clock=clock.read)
+    tracer.enable_only("kept")
+    categories = ["kept"] + [f"dead_{index:02d}" for index in range(19)]
+    rows = 100_000 if quick else 1_000_000
+    kept = 0
+    skipped = 0
+    for index in range(rows):
+        clock.t += 0.001
+        category = categories[index % 20]
+        if tracer.enabled(category):
+            tracer.record(category, seq=index, payload=index * 3)
+            kept += 1
+        else:
+            skipped += 1
+    return BenchStats(
+        trace_records=len(tracer),
+        digest=tracer.digest(),
+        extra={"kept": kept, "skipped": skipped},
+    )
+
+
 # ---------------------------------------------------------------------------
 # End-to-end service / figure / chaos scenarios
 # ---------------------------------------------------------------------------

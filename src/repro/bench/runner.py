@@ -20,9 +20,14 @@ tests can pin the timing fields.
 
 from __future__ import annotations
 
+import cProfile
+import gc
+import math
 import platform
+import pstats
 import time
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.bench.registry import SCENARIOS, BenchStats
 from repro.parallel import SweepPool
@@ -64,34 +69,139 @@ def _bench_entry(stats: BenchStats, wall: float) -> Dict[str, Any]:
     return entry
 
 
-def _run_named(request: Tuple[str, bool]) -> Tuple[BenchStats, float]:
+@contextmanager
+def _collector_paused() -> Iterator[None]:
+    """Pause the cyclic GC for a timed region (benchmark hygiene).
+
+    Allocation-heavy scenarios otherwise measure collector pauses fired
+    at arbitrary allocation counts instead of the code under test — the
+    same reason pyperf and pytest-benchmark disable the collector.  A
+    full ``collect()`` runs before the clock starts so every scenario
+    begins from the same heap state; the collector is restored (never
+    force-enabled) afterwards.
+    """
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _timed_run(name: str, quick: bool, repeat: int,
+               stopwatch: Callable[[], float]) -> Tuple[BenchStats, float]:
+    """Run one scenario ``repeat`` times: min wall, determinism-checked.
+
+    Min-of-N is the standard defence against host noise (same rationale
+    as ``timeit``): the minimum is the run least disturbed by scheduler
+    interference or frequency scaling.  The deterministic fields double
+    as a free determinism check — every repeat must reproduce them
+    byte-for-byte, or the scenario is flagged on the spot.
+    """
+    scenario = SCENARIOS[name]
+    stats: Optional[BenchStats] = None
+    best = math.inf
+    for _ in range(repeat):
+        with _collector_paused():
+            started = stopwatch()
+            current = scenario(quick)
+            wall = stopwatch() - started
+        if wall < best:
+            best = wall
+        if stats is None:
+            stats = current
+        elif current != stats:
+            raise RuntimeError(
+                f"bench scenario {name!r} is not deterministic across "
+                f"repeats: {current} != {stats}")
+    assert stats is not None
+    return stats, best
+
+
+def _run_named(request: Tuple[str, bool, int]) -> Tuple[BenchStats, float]:
     """Worker entry point: run one registered scenario, self-timed."""
-    name, quick = request
-    started = _WORKER_STOPWATCH()
-    stats = SCENARIOS[name](quick)
-    return stats, _WORKER_STOPWATCH() - started
+    name, quick, repeat = request
+    return _timed_run(name, quick, repeat, _WORKER_STOPWATCH)
+
+
+def top_hotspots(profiler: cProfile.Profile,
+                 limit: int = 25) -> List[Dict[str, Any]]:
+    """The ``limit`` most cumulative-expensive functions of one profile.
+
+    Rows are plain dicts (stable-JSON friendly), ordered by cumulative
+    time descending with the function label as a deterministic tiebreak.
+    Absolute paths are trimmed at the package root so two machines'
+    profiles of the same revision name the same functions.
+    """
+    stats = pstats.Stats(profiler)
+    rows: List[Dict[str, Any]] = []
+    for func, row in stats.stats.items():  # type: ignore[attr-defined]
+        primitive_calls, total_calls, tottime, cumtime = row[:4]
+        filename, lineno, name = func
+        marker = filename.rfind("repro/")
+        if marker != -1:
+            filename = filename[marker:]
+        rows.append({
+            "function": f"{filename}:{lineno}({name})",
+            "ncalls": total_calls,
+            "primitive_calls": primitive_calls,
+            "tottime_s": round(tottime, 6),
+            "cumtime_s": round(cumtime, 6),
+        })
+    rows.sort(key=lambda entry: (-entry["cumtime_s"], entry["function"]))
+    return rows[:limit]
 
 
 def run_suite(names: Optional[Iterable[str]] = None, quick: bool = False,
               rev: str = "unversioned",
               stopwatch: Callable[[], float] = time.perf_counter,
               echo: Optional[Callable[[str], None]] = None,
-              jobs: int = 1) -> Dict[str, Any]:
-    """Run the selected scenarios and return the BENCH document (a dict)."""
+              jobs: int = 1,
+              profiles: Optional[Dict[str, Any]] = None,
+              repeat: int = 1) -> Dict[str, Any]:
+    """Run the selected scenarios and return the BENCH document (a dict).
+
+    When ``profiles`` is a dict, each scenario additionally runs under
+    :mod:`cProfile` and the dict is filled with scenario ->
+    :func:`top_hotspots` rows.  Profiling is per-process, so it requires
+    ``jobs == 1``; wall times in the document are then profiler-inflated
+    and should not be compared against unprofiled baselines.
+
+    ``repeat`` runs every scenario N times and records the *minimum*
+    wall time (the run least disturbed by host noise — use it for
+    committed baselines).  Deterministic fields must agree across
+    repeats or the runner raises.  Profiling implies ``repeat == 1``.
+    """
     selected = resolve_names(names)
+    if profiles is not None and jobs > 1:
+        raise ValueError("profiling is per-process; run with jobs=1")
+    if profiles is not None and repeat > 1:
+        raise ValueError("profiled wall times are inflated; min-of-N "
+                         "would be meaningless — run with repeat=1")
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
     benches: Dict[str, Any] = {}
     suite_started = stopwatch()
     timed: List[Tuple[BenchStats, float]]
     if jobs > 1:
         pool = SweepPool(jobs)
         timed = pool.map(_run_named,
-                         [(name, quick) for name in selected])
+                         [(name, quick, repeat) for name in selected])
     else:
         timed = []
         for name in selected:
-            started = stopwatch()
-            stats = SCENARIOS[name](quick)
-            timed.append((stats, stopwatch() - started))
+            if profiles is not None:
+                with _collector_paused():
+                    started = stopwatch()
+                    profiler = cProfile.Profile()
+                    stats = profiler.runcall(SCENARIOS[name], quick)
+                    wall = stopwatch() - started
+                profiles[name] = top_hotspots(profiler)
+                timed.append((stats, wall))
+            else:
+                timed.append(_timed_run(name, quick, repeat, stopwatch))
     for name, (stats, wall) in zip(selected, timed):
         benches[name] = _bench_entry(stats, wall)
         if echo is not None:
@@ -104,6 +214,7 @@ def run_suite(names: Optional[Iterable[str]] = None, quick: bool = False,
             "rev": rev,
             "quick": quick,
             "jobs": jobs,
+            "repeat": repeat,
             "python": platform.python_version(),
             "scenarios": selected,
             "suite_wall_s": round(stopwatch() - suite_started, 6),

@@ -28,6 +28,63 @@ from repro.sched.task import BAND_BACKGROUND, BAND_REALTIME, Job, Task, TaskSet
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 
+#: Default for :class:`Processor`'s ``batch_releases`` parameter.  The
+#: batched path coalesces each task's periodic releases into one
+#: self-rescheduling macro-event (see :class:`_ReleaseLoop`); it is
+#: digest-identical to the unbatched path by construction and verified so
+#: by the equivalence property tests, so it is on by default.  Flip to
+#: ``False`` to force every processor in the process onto the one-event-
+#: per-release reference path.
+BATCH_RELEASES = True
+
+
+class _ReleaseLoop:
+    """Self-rescheduling macro-event driving one task's periodic releases.
+
+    The unbatched reference path allocates a fresh engine event (record,
+    args tuple, bound method) for *every* release of every task.  This loop
+    object owns a single event record for the task's whole lifetime and
+    re-arms it each period via :meth:`EventQueue.rearm`, so a release costs
+    one heap push and nothing else — the macro-event "expands lazily" into
+    individual releases as virtual time reaches them.
+
+    Digest equivalence is by construction: :meth:`arm` draws the same
+    jitter stream and consumes one engine sequence number at exactly the
+    same program point as the unbatched ``_schedule_release``, so the heap
+    keys ``(time, seq)`` — and therefore the pop order, the trace, and
+    ``events_executed`` — are identical in both modes.
+    """
+
+    __slots__ = ("processor", "task", "base_time", "event")
+
+    def __init__(self, processor: "Processor", task: Task) -> None:
+        self.processor = processor
+        self.task = task
+        self.base_time = 0.0
+        self.event: Optional[Event] = None
+
+    def arm(self, base_time: float) -> None:
+        """Point the macro-event at the release for ``base_time``."""
+        processor = self.processor
+        task = self.task
+        jitter = 0.0
+        if task.release_jitter > 0:
+            rng = processor.sim.random.stream(
+                f"{processor.name}.jitter.{task.name}")
+            jitter = rng.uniform(0.0, task.release_jitter)
+        self.base_time = base_time
+        when = max(processor.sim.now, base_time + jitter)
+        if self.event is None:
+            self.event = processor.sim.schedule_at(when, self.fire)
+        else:
+            # The record just fired (fire() is the only caller once armed),
+            # so it is re-armable: not queued, not cancelled.
+            processor.sim.reschedule_at(self.event, when)
+        processor._release_events[task.name] = self.event
+
+    def fire(self) -> None:
+        self.processor._release_batched(self.task, self)
+
 
 class Processor:
     """A preemptive CPU executing periodic tasks and aperiodic jobs.
@@ -46,14 +103,23 @@ class Processor:
         :class:`~repro.errors.DeadlineMissError`; otherwise it is traced and
         execution continues (the paper treats missed message deadlines as
         performance failures, not crashes).
+    batch_releases:
+        ``True`` coalesces each task's periodic releases into one
+        re-armed macro-event (:class:`_ReleaseLoop`); ``False`` allocates a
+        fresh engine event per release (the reference path).  ``None``
+        (default) follows the module-level :data:`BATCH_RELEASES` flag.
+        Both modes are digest-identical.
     """
 
     def __init__(self, sim: Simulator, scheduler: Optional[object] = None,
-                 name: str = "cpu", hard_deadlines: bool = False) -> None:
+                 name: str = "cpu", hard_deadlines: bool = False,
+                 batch_releases: Optional[bool] = None) -> None:
         self.sim = sim
         self.scheduler = scheduler if scheduler is not None else EDFScheduler()
         self.name = name
         self.hard_deadlines = hard_deadlines
+        self.batch_releases = (BATCH_RELEASES if batch_releases is None
+                               else batch_releases)
         self.tasks = TaskSet()
         #: Completed-job finish instants per task name (phase-variance input).
         self.finish_times: Dict[str, List[float]] = {}
@@ -68,6 +134,7 @@ class Processor:
         self._run_started_at = 0.0
         self._completion_event: Optional[Event] = None
         self._release_events: Dict[str, Event] = {}
+        self._release_loops: Dict[str, _ReleaseLoop] = {}
         self._pending_jobs: Dict[str, Job] = {}  # latest unstarted job per task
 
     # ------------------------------------------------------------------
@@ -93,6 +160,9 @@ class Processor:
         event = self._release_events.pop(name, None)
         if event is not None:
             event.cancel()
+        # A cancelled record cannot be re-armed; re-adding the task builds
+        # a fresh loop.
+        self._release_loops.pop(name, None)
         self._pending_jobs.pop(name, None)
         self._ready = [job for job in self._ready
                        if job.task is None or job.task.name != name]
@@ -144,6 +214,14 @@ class Processor:
     # ------------------------------------------------------------------
 
     def _schedule_release(self, task: Task, base_time: float) -> None:
+        if self.batch_releases:
+            # Installation entry point of the batched path: one loop (and
+            # one event record) per installed task; _release_batched
+            # re-arms it directly every period afterwards.
+            loop = _ReleaseLoop(self, task)
+            self._release_loops[task.name] = loop
+            loop.arm(base_time)
+            return
         jitter = 0.0
         if task.release_jitter > 0:
             rng = self.sim.random.stream(f"{self.name}.jitter.{task.name}")
@@ -162,8 +240,10 @@ class Processor:
             if stale is not None and not stale.started and not stale.finished:
                 if stale in self._ready:
                     self._ready.remove(stale)
-                    self.sim.trace.record("job_replaced", cpu=self.name,
-                                          task=task.name, index=stale.index)
+                    trace = self.sim.trace
+                    if trace.enabled("job_replaced"):
+                        trace.record("job_replaced", cpu=self.name,
+                                     task=task.name, index=stale.index)
         job = Job(name=task.name, release_time=self.sim.now, cost=task.wcet,
                   absolute_deadline=self.sim.now + task.deadline,
                   task=task, index=index, band=BAND_REALTIME,
@@ -173,13 +253,41 @@ class Processor:
         self._schedule_release(task, base_time + task.period)
         self._enqueue(job)
 
+    def _release_batched(self, task: Task, loop: _ReleaseLoop) -> None:
+        # Mirror of _release: every side effect (jitter draw, sequence
+        # number, trace record, enqueue) happens at the same program point,
+        # which is what makes the two modes digest-identical.  Keep the two
+        # bodies in lockstep.
+        if task.name not in self.tasks:
+            return  # removed while the release event was in flight
+        index = len(self.finish_times.get(task.name, ()))
+        if task.replace_pending:
+            stale = self._pending_jobs.get(task.name)
+            if stale is not None and not stale.started and not stale.finished:
+                if stale in self._ready:
+                    self._ready.remove(stale)
+                    trace = self.sim.trace
+                    if trace.enabled("job_replaced"):
+                        trace.record("job_replaced", cpu=self.name,
+                                     task=task.name, index=stale.index)
+        job = Job(name=task.name, release_time=self.sim.now, cost=task.wcet,
+                  absolute_deadline=self.sim.now + task.deadline,
+                  task=task, index=index, band=BAND_REALTIME,
+                  action=task.action)
+        self._pending_jobs[task.name] = job
+        # Next release keeps the nominal grid (jitter does not accumulate).
+        loop.arm(loop.base_time + task.period)
+        self._enqueue(job)
+
     # ------------------------------------------------------------------
     # Dispatch machinery
     # ------------------------------------------------------------------
 
     def _enqueue(self, job: Job) -> None:
-        self.sim.trace.record("job_release", cpu=self.name, job=job.name,
-                              index=job.index, band=job.band)
+        trace = self.sim.trace
+        if trace.enabled("job_release"):
+            trace.record("job_release", cpu=self.name, job=job.name,
+                         index=job.index, band=job.band)
         self._ready.append(job)
         self._reschedule()
 
@@ -206,8 +314,10 @@ class Processor:
             self._completion_event = None
         self._running = None
         self._ready.append(job)
-        self.sim.trace.record("job_preempt", cpu=self.name, job=job.name,
-                              index=job.index, remaining=job.remaining)
+        trace = self.sim.trace
+        if trace.enabled("job_preempt"):
+            trace.record("job_preempt", cpu=self.name, job=job.name,
+                         index=job.index, remaining=job.remaining)
 
     def _dispatch(self) -> None:
         if self._running is not None:
@@ -236,13 +346,15 @@ class Processor:
             self.finish_times[job.task.name].append(job.finish_time)
             if self._pending_jobs.get(job.task.name) is job:
                 del self._pending_jobs[job.task.name]
-        self.sim.trace.record(
-            "job_finish", cpu=self.name, job=job.name, index=job.index,
-            release=job.release_time, finish=job.finish_time,
-            response=job.response_time, band=job.band)
+        trace = self.sim.trace
+        if trace.enabled("job_finish"):
+            trace.record(
+                "job_finish", cpu=self.name, job=job.name, index=job.index,
+                release=job.release_time, finish=job.finish_time,
+                response=job.response_time, band=job.band)
         if job.finish_time > job.absolute_deadline + 1e-12:
             self.deadline_misses += 1
-            self.sim.trace.record(
+            trace.record(
                 "deadline_miss", cpu=self.name, job=job.name, index=job.index,
                 deadline=job.absolute_deadline, finish=job.finish_time)
             if self.hard_deadlines:

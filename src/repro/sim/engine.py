@@ -10,12 +10,22 @@ clock.
 from __future__ import annotations
 
 import math
+from heapq import heappop as _heappop
+from heapq import heappush
 from typing import Any, Callable, Generator, Optional
 
 from repro.errors import SimStoppedError, SimTimeError
 from repro.sim.events import Event, EventQueue
 from repro.sim.randomness import RandomStreams
 from repro.sim.trace import Tracer
+
+#: Frame-free Event allocation for the inlined schedule fast path: calling
+#: the class would run the (pure-assignment) ``__init__`` in its own frame.
+_new_event = Event.__new__
+
+#: Hoisted so the validation compare does one global load, not math.inf's
+#: module-attribute chase, on every schedule call.
+_INF = math.inf
 
 
 class Simulator:
@@ -67,17 +77,51 @@ class Simulator:
     def schedule(self, delay: float, callback: Callable[..., Any],
                  *args: Any) -> Event:
         """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
-        if delay < 0 or not math.isfinite(delay):
+        # One chained comparison replaces the math.isfinite call: NaN fails
+        # both bounds, inf fails the right one, negatives the left.
+        if not 0.0 <= delay < _INF:
             raise SimTimeError(f"negative or non-finite delay: {delay!r}")
-        return self._queue.push(self._now + delay, callback, args)
+        # Inlined EventQueue.push — this is the single hottest call in the
+        # library (every message hop, timer and job re-arm lands here), so
+        # it pays no extra call frame.  Must stay in lockstep with push().
+        queue = self._queue
+        time = self._now + delay
+        seq = queue._seq
+        queue._seq = seq + 1
+        event = _new_event(Event)
+        event.time = time
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event._queue = queue
+        heappush(queue._heap, (time, seq, event))
+        live = queue._live + 1
+        queue._live = live
+        if live > queue._peak_live:
+            queue._peak_live = live
+        return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any],
                     *args: Any) -> Event:
         """Run ``callback(*args)`` at absolute virtual ``time``."""
-        if time < self._now or not math.isfinite(time):
+        if not self._now <= time < _INF:
             raise SimTimeError(
                 f"cannot schedule at {time!r}: current time is {self._now!r}")
         return self._queue.push(time, callback, args)
+
+    def reschedule_at(self, event: Event, time: float) -> Event:
+        """Re-arm a *fired* event record at absolute virtual ``time``.
+
+        The allocation-free sibling of :meth:`schedule_at` for periodic
+        machinery: the record's callback and args are reused, only the
+        heap entry is new.  See :meth:`repro.sim.events.EventQueue.rearm`
+        for the (enforced) preconditions.
+        """
+        if not self._now <= time < _INF:
+            raise SimTimeError(
+                f"cannot schedule at {time!r}: current time is {self._now!r}")
+        return self._queue.rearm(event, time)
 
     def spawn(self, generator: Generator, name: str = "") -> "Process":
         """Start a generator-based :class:`~repro.sim.process.Process` now."""
@@ -94,9 +138,9 @@ class Simulator:
 
         Returns ``True`` if an event ran, ``False`` if the queue was empty.
         """
-        if not self._queue:
+        event = self._queue.pop_due(math.inf)
+        if event is None:
             return False
-        event = self._queue.pop()
         self._now = event.time
         self._events_executed += 1
         event.callback(*event.args)
@@ -123,24 +167,68 @@ class Simulator:
         self._running = True
         self._stopped = False
         count = 0
+        horizon = math.inf if until is None else until
+        # Hot loop: one pop_due per event (single tombstone pass — the old
+        # peek_time/step pair discarded tombstones twice), the queue method
+        # and stop flag hoisted out of the loop, and the dispatch counter
+        # flushed once in ``finally`` (callbacks only observe it between
+        # runs; a nested ``step()`` still lands on the attribute and
+        # survives the += below).
+        pop_due = self._queue.pop_due
         try:
-            while True:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                if self._stopped:
-                    break
-                if max_events is not None and count >= max_events:
-                    # An (N+1)th event is due within the horizon — the model
-                    # outran its budget.  Nothing beyond N ever executes.
-                    raise SimTimeError(
-                        f"exceeded max_events={max_events} (runaway model?)")
-                self.step()
-                count += 1
+            if max_events is None:
+                # The queue's pop_due(), inlined (it must stay in lockstep
+                # with EventQueue.pop_due): one tombstone-discard pass per
+                # dispatched event, heap and heappop hoisted into locals,
+                # no per-event method call.
+                heap = self._queue._heap
+                heappop = _heappop
+                queue = self._queue
+                while not self._stopped:
+                    while heap:
+                        entry = heap[0]
+                        event = entry[2]
+                        if event.cancelled:
+                            heappop(heap)
+                            continue
+                        break
+                    else:
+                        break
+                    time = entry[0]
+                    if time > horizon:
+                        break
+                    heappop(heap)
+                    queue._live -= 1
+                    event._queue = None
+                    self._now = time
+                    count += 1
+                    # Empty-args dispatches (timers, self-rescheduling
+                    # loops) dominate; a plain call avoids the *-unpack.
+                    args = event.args
+                    if args:
+                        event.callback(*args)
+                    else:
+                        event.callback()
+            else:
+                while not self._stopped:
+                    if count >= max_events:
+                        next_time = self._queue.peek_time()
+                        if next_time is None or next_time > horizon:
+                            break
+                        # An (N+1)th event is due within the horizon — the
+                        # model outran its budget.  Nothing beyond N runs.
+                        raise SimTimeError(
+                            f"exceeded max_events={max_events} "
+                            f"(runaway model?)")
+                    event = pop_due(horizon)
+                    if event is None:
+                        break
+                    self._now = event.time
+                    count += 1
+                    event.callback(*event.args)
         finally:
             self._running = False
+            self._events_executed += count
         if until is not None and not self._stopped and self._now < until:
             self._now = until
         return count
@@ -151,7 +239,7 @@ class Simulator:
 
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events in the queue.  O(1)."""
-        return len(self._queue)
+        return self._queue._live
 
     @property
     def peak_pending_events(self) -> int:

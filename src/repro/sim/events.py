@@ -1,9 +1,13 @@
 """Scheduled events and the time-ordered event queue.
 
-The queue is a binary heap keyed on ``(time, sequence)``.  The sequence number
-makes ordering *total* and *deterministic*: two events scheduled for the same
-instant always fire in scheduling order, so simulations are reproducible
-independent of hash seeds or dict ordering.
+The queue is a binary heap of ``(time, seq, event)`` triples.  The sequence
+number makes ordering *total* and *deterministic*: two events scheduled for
+the same instant always fire in scheduling order, so simulations are
+reproducible independent of hash seeds or dict ordering.  Keeping the sort
+key in the tuple (rather than comparing :class:`Event` objects) means every
+heap sift compares plain floats and ints in C — no Python-level ``__lt__``
+frame, no per-comparison tuple allocation.  The sequence is unique, so a
+comparison never reaches the third element.
 
 Liveness accounting is O(1): the queue maintains a live-event counter on
 push/pop/cancel/clear instead of scanning the heap, so ``len(queue)``,
@@ -12,13 +16,19 @@ under cancel-heavy workloads.  Cancellation stays lazy (the entry remains in
 the heap until popped), but when cancelled entries outnumber live ones the
 queue compacts — rebuilding the heap from the live events — so the heap's
 size, push cost, and memory stay proportional to the *live* population.
+
+The engine's hot loop uses :meth:`EventQueue.pop_due`, which folds the old
+``peek_time`` + ``pop`` pair into one pass: tombstones ahead of the next
+live event are discarded exactly once per dispatched event.  Periodic
+machinery (the processor's release loops) re-arms a fired :class:`Event`
+record in place via :meth:`EventQueue.rearm` instead of allocating a fresh
+record every period.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimTimeError
 
@@ -54,17 +64,31 @@ class Event:
         if self.cancelled:
             return
         self.cancelled = True
-        if self._queue is not None:
-            self._queue._on_cancel()
+        queue = self._queue
+        if queue is not None:
             self._queue = None
+            # Inlined EventQueue._on_cancel — cancel is on the hot path of
+            # every timeout re-arm, so it pays no extra call frame.
+            live = queue._live - 1
+            queue._live = live
+            cancelled = len(queue._heap) - live
+            if (cancelled >= queue._COMPACT_MIN_CANCELLED
+                    and cancelled > live):
+                queue._compact()
 
     def __lt__(self, other: "Event") -> bool:
+        # The heap itself never compares Event objects (the (time, seq)
+        # key lives in the heap tuple); kept for user code that sorts
+        # events directly.
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
         name = getattr(self.callback, "__qualname__", repr(self.callback))
         return f"<Event t={self.time:.6f} seq={self.seq} {name}{state}>"
+
+
+_HeapEntry = Tuple[float, int, Event]
 
 
 class EventQueue:
@@ -75,8 +99,8 @@ class EventQueue:
     _COMPACT_MIN_CANCELLED = 64
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
-        self._counter = itertools.count()
+        self._heap: List[_HeapEntry] = []
+        self._seq = 0
         self._live = 0
         self._peak_live = 0
 
@@ -99,11 +123,40 @@ class EventQueue:
     def push(self, time: float, callback: Callable[..., Any],
              args: tuple = ()) -> Event:
         """Schedule ``callback(*args)`` at virtual ``time`` and return the event."""
-        event = Event(time, next(self._counter), callback, args, self)
-        heapq.heappush(self._heap, event)
-        self._live += 1
-        if self._live > self._peak_live:
-            self._peak_live = self._live
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, args, self)
+        heapq.heappush(self._heap, (time, seq, event))
+        live = self._live + 1
+        self._live = live
+        if live > self._peak_live:
+            self._peak_live = live
+        return event
+
+    def rearm(self, event: Event, time: float) -> Event:
+        """Re-schedule a *fired* event record at a new time, reusing it.
+
+        The record must have left the heap (fired) and must not be
+        cancelled: a cancelled record's stale heap entry would come back to
+        life if its flag were reset.  Consumes one sequence number, exactly
+        like :meth:`push` — a rearm and a fresh push at the same program
+        point are indistinguishable in pop order, which is what keeps the
+        batched release path digest-identical to the unbatched one.
+        """
+        if event._queue is not None:
+            raise SimTimeError("rearm of an event still in the queue")
+        if event.cancelled:
+            raise SimTimeError("rearm of a cancelled event")
+        seq = self._seq
+        self._seq = seq + 1
+        event.time = time
+        event.seq = seq
+        event._queue = self
+        heapq.heappush(self._heap, (time, seq, event))
+        live = self._live + 1
+        self._live = live
+        if live > self._peak_live:
+            self._peak_live = live
         return event
 
     def peek_time(self) -> Optional[float]:
@@ -111,7 +164,34 @@ class EventQueue:
         self._discard_cancelled()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
+
+    def pop_due(self, until: float) -> Optional[Event]:
+        """Remove and return the earliest live event with ``time <= until``.
+
+        Returns ``None`` when the queue is empty or the next live event
+        lies beyond ``until``.  This is the engine's hot-loop primitive: it
+        discards tombstones, checks the horizon, and pops in a single pass
+        (the old ``peek_time()`` + ``pop()`` pair scanned the same
+        tombstones twice per dispatched event).
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            event = entry[2]
+            if event.cancelled:
+                heappop(heap)
+                continue
+            if entry[0] > until:
+                return None
+            heappop(heap)
+            self._live -= 1
+            # Detach: a later cancel() on the fired event must not corrupt
+            # the live count (and needs no queue reference to be harmless).
+            event._queue = None
+            return event
+        return None
 
     def pop(self) -> Event:
         """Remove and return the earliest live event.
@@ -121,36 +201,31 @@ class EventQueue:
         self._discard_cancelled()
         if not self._heap:
             raise SimTimeError("pop from an empty event queue")
-        event = heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)[2]
         self._live -= 1
-        # Detach: a later cancel() on the fired event must not corrupt the
-        # live count (and needs no queue reference to be harmless).
         event._queue = None
         return event
 
     def clear(self) -> None:
         """Drop every pending event."""
-        for event in self._heap:
-            event._queue = None
+        for entry in self._heap:
+            entry[2]._queue = None
         self._heap.clear()
         self._live = 0
-
-    def _on_cancel(self) -> None:
-        self._live -= 1
-        cancelled = len(self._heap) - self._live
-        if (cancelled >= self._COMPACT_MIN_CANCELLED
-                and cancelled > self._live):
-            self._compact()
 
     def _compact(self) -> None:
         """Rebuild the heap from live events only.
 
-        O(live) and deterministic: heapify compares ``(time, seq)`` pairs,
-        so the resulting pop order is identical to the lazy order.
+        O(live) and deterministic: heapify compares ``(time, seq)`` keys,
+        so the resulting pop order is identical to the lazy order.  The
+        list object is mutated in place, never rebound — the engine's
+        dispatch loop holds a direct reference to it.
         """
-        self._heap = [event for event in self._heap if not event.cancelled]
-        heapq.heapify(self._heap)
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
 
     def _discard_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)

@@ -12,6 +12,14 @@ queried category's records and :meth:`Tracer.categories` is a dict copy,
 so the per-object queries the metric collectors issue stop scanning the
 whole trace.  Iteration order, :meth:`Tracer.digest`, and the storage
 filter semantics are unchanged from the scan implementation.
+
+Dead categories cost (almost) nothing: :meth:`Tracer.enabled` answers
+"would a record of this category go anywhere?" from a per-category cache,
+so hot call sites can guard with ``if trace.enabled("tick"):`` and skip
+building the keyword-argument dict, the clock call, and the frozen
+dataclass entirely when a run has narrowed the filter.  The guard is
+digest-neutral by construction — it only ever skips records that
+:meth:`record` would have dropped on arrival.
 """
 
 from __future__ import annotations
@@ -51,6 +59,48 @@ class Tracer:
         self._by_category: Dict[str, List[TraceRecord]] = {}
         self._enabled: Optional[frozenset] = None  # None means "all"
         self._listeners: List[Callable[[TraceRecord], None]] = []
+        #: category -> "a record of this category goes somewhere" (stored
+        #: or delivered to a listener).  Invalidated whenever the filter or
+        #: the listener set changes; see :meth:`enabled`.
+        self._live_cache: Dict[str, bool] = {}
+
+    def enabled(self, category: str) -> bool:
+        """Whether a record of ``category`` would be stored or observed.
+
+        O(1) after the first query per category.  Hot call sites use this
+        to skip building the record's fields when the category is dead::
+
+            if trace.enabled("queue_depth"):
+                trace.record("queue_depth", depth=len(self._queue), ...)
+
+        Skipping is behaviour-identical: :meth:`record` drops exactly the
+        records for which this returns ``False``.
+        """
+        live = self._live_cache.get(category)
+        if live is None:
+            live = (bool(self._listeners) or self._enabled is None
+                    or category in self._enabled)
+            self._live_cache[category] = live
+        return live
+
+    def record_if(self, category: str) -> Optional[
+            Callable[..., None]]:
+        """The bound :meth:`record` method if ``category`` is live, else None.
+
+        Lets a tight loop hoist both the liveness decision and the method
+        lookup::
+
+            rec = trace.record_if("tick")
+            for ...:
+                if rec is not None:
+                    rec("tick", step=i)
+
+        The returned value is a *snapshot*: re-query after any
+        :meth:`enable_only` / :meth:`enable_all` / :meth:`subscribe` /
+        :meth:`unsubscribe` call, or a freshly-enabled category (or a new
+        listener) will be missed by loops still holding ``None``.
+        """
+        return self.record if self.enabled(category) else None
 
     def record(self, category: str, **fields: Any) -> None:
         """Append one record stamped with the current virtual time.
@@ -60,14 +110,17 @@ class Tracer:
         monitors must not go blind just because a long run narrows what the
         post-hoc collectors keep.
         """
-        filtered = (self._enabled is not None
-                    and category not in self._enabled)
-        if filtered and not self._listeners:
+        live = self._live_cache.get(category)
+        if live is None:
+            live = (bool(self._listeners) or self._enabled is None
+                    or category in self._enabled)
+            self._live_cache[category] = live
+        if not live:
             return
         record = TraceRecord(self._clock(), category, fields)
         for listener in self._listeners:
             listener(record)
-        if not filtered:
+        if (self._enabled is None or category in self._enabled):
             self._store(record)
 
     def ingest(self, record: TraceRecord) -> None:
@@ -90,20 +143,24 @@ class Tracer:
         """Start delivering every record to ``listener`` as it is produced."""
         if listener not in self._listeners:
             self._listeners.append(listener)
+            self._live_cache.clear()
 
     def unsubscribe(self, listener: Callable[[TraceRecord], None]) -> None:
         # Equality, not identity: each access to a bound method (the usual
         # listener shape) builds a fresh object, so `is` would never match.
         self._listeners = [known for known in self._listeners
                            if known != listener]
+        self._live_cache.clear()
 
     def enable_only(self, *categories: str) -> None:
         """Keep only the given categories from now on (empty = keep nothing)."""
         self._enabled = frozenset(categories)
+        self._live_cache.clear()
 
     def enable_all(self) -> None:
         """Resume keeping every category (the default)."""
         self._enabled = None
+        self._live_cache.clear()
 
     def select(self, category: str, **matches: Any) -> List[TraceRecord]:
         """Records of ``category`` whose fields equal all of ``matches``.

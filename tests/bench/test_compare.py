@@ -102,9 +102,35 @@ def test_require_identical_gates_any_deterministic_field():
     assert compare_documents(old, new).exit_code == 0
 
 
-def test_require_identical_gates_coverage_changes():
+def test_require_identical_gates_coverage_loss_not_growth():
+    # Losing a bench breaks the contract; adding one has no old document
+    # to be identical to, so new scenarios never invalidate old baselines.
     old = doc(kept=bench(rate=1.0), gone=bench(rate=1.0))
     new = doc(kept=bench(rate=1.0), fresh=bench(rate=1.0))
     report = compare_documents(old, new, require_identical=True)
     assert report.exit_code == 1
-    assert report.determinism_failures == ["fresh", "gone"]
+    assert report.determinism_failures == ["gone"]
+    grown = compare_documents(
+        doc(kept=bench(rate=1.0)), new, require_identical=True)
+    assert grown.exit_code == 0
+    assert grown.added == ["fresh"]
+
+
+def test_benches_filter_restricts_comparison():
+    old = doc(sim=bench(rate=100_000.0), fig=bench(wall=10.0, digest="aaa"))
+    new = doc(sim=bench(rate=50_000.0), fig=bench(wall=10.0, digest="bbb"))
+    # Unfiltered: the sim regression and the fig digest drift both show.
+    assert compare_documents(old, new).exit_code == 1
+    report = compare_documents(old, new, benches=["fig"])
+    assert report.exit_code == 0
+    assert report.deltas[0].name == "fig"
+    assert report.digest_changes == ["fig"]
+    gated = compare_documents(old, new, benches=["sim"])
+    assert gated.exit_code == 1
+    assert [delta.name for delta in gated.deltas] == ["sim"]
+
+
+def test_benches_filter_rejects_unknown_names():
+    old = doc(sim=bench(rate=1.0))
+    with pytest.raises(ValueError, match="typo"):
+        compare_documents(old, old, benches=["typo"])

@@ -67,3 +67,54 @@ def test_resolve_names_rejects_unknown():
 
 def test_resolve_names_defaults_to_whole_suite():
     assert resolve_names(None) == sorted(SCENARIOS)
+
+
+class SlowingStopwatch:
+    """Readings spread so each repeat's wall grows: 0.5, then 1.0, then 1.5."""
+
+    def __init__(self):
+        self.t = 0.0
+        self.step = 0.0
+
+    def __call__(self):
+        self.step += 0.25
+        self.t += self.step
+        return self.t
+
+
+def test_repeat_records_the_minimum_wall(fake_registry, monkeypatch):
+    calls = {"n": 0}
+
+    def counted(quick):
+        calls["n"] += 1
+        return BenchStats(events_executed=100, extra={})
+
+    monkeypatch.setitem(SCENARIOS, "fake_counted", counted)
+    document = run_suite(names=["fake_counted"], repeat=3,
+                         stopwatch=SlowingStopwatch())
+    assert calls["n"] == 3
+    assert document["meta"]["repeat"] == 3
+    # Walls were 0.75, 1.75, 2.75 under the slowing stopwatch: min wins.
+    assert document["benches"]["fake_counted"]["wall_s"] == \
+        pytest.approx(0.75)
+
+
+def test_repeat_rejects_nondeterministic_scenarios(monkeypatch):
+    ticker = {"n": 0}
+
+    def flappy(quick):
+        ticker["n"] += 1
+        return BenchStats(events_executed=ticker["n"], extra={})
+
+    monkeypatch.setitem(SCENARIOS, "fake_flappy", flappy)
+    with pytest.raises(RuntimeError, match="not deterministic"):
+        run_suite(names=["fake_flappy"], repeat=2,
+                  stopwatch=FakeStopwatch())
+
+
+def test_repeat_refuses_profiling_and_nonpositive_values(fake_registry):
+    with pytest.raises(ValueError, match="repeat"):
+        run_suite(names=fake_registry, repeat=2, profiles={},
+                  stopwatch=FakeStopwatch())
+    with pytest.raises(ValueError, match="repeat"):
+        run_suite(names=fake_registry, repeat=0, stopwatch=FakeStopwatch())

@@ -1,0 +1,14 @@
+"""Fixture: PERF001 — unguarded computed-field tracing in loop bodies."""
+
+
+def drain(sim, queue, items):
+    trace = sim.trace
+    for item in items:
+        trace.record("link_send", depth=len(queue))  # PERF001 (line 7)
+        sim.trace.record("link_drop", cost=item.cost * 2.0)  # PERF001 (line 8)
+        if trace.enabled("link_deliver"):
+            trace.record("link_deliver", depth=len(queue))  # guarded: fine
+        trace.record("job_release", job=item, kind="x")  # trivial fields: fine
+    while queue:
+        sim.trace.record("job_finish", backlog=queue.pop())  # PERF001 (line 13)
+    trace.record("job_preempt", total=len(items))  # not in a loop: fine

@@ -79,6 +79,24 @@ def test_sim001_entropy_imports():
     # Notably absent: `import os` itself (line 3) — only urandom calls.
 
 
+def test_perf001_unguarded_hot_tracing():
+    assert hits("src/repro/sim/perf001_unguarded_trace.py") == {
+        ("PERF001", 7), ("PERF001", 8), ("PERF001", 13)}
+    # Notably absent: the guarded record, the trivial-field record, and
+    # the record after the loop.
+
+
+def test_perf001_scoped_to_the_simulation_core():
+    # The same unguarded loop tracing outside repro.sim / repro.sched is
+    # fine: clarity wins where no dispatch loop amplifies the cost.
+    from repro.lint import lint_source
+    source = (FIXTURES / "src" / "repro" / "sim"
+              / "perf001_unguarded_trace.py").read_text(encoding="utf-8")
+    for path in ("src/repro/core/server.py", "tests/sim/example.py"):
+        assert [finding for finding in lint_source(source, path)
+                if finding.rule == "PERF001"] == []
+
+
 def test_api001_swallowed_exceptions():
     assert hits("api001_swallowed.py") == {
         ("API001", 7), ("API001", 11)}

@@ -234,3 +234,49 @@ def test_pending_events_count():
 
 def test_step_returns_false_on_empty():
     assert Simulator().step() is False
+
+
+def test_reschedule_at_rearms_a_fired_event():
+    sim = Simulator()
+    order = []
+    event = sim.schedule(1.0, order.append, "first")
+    sim.run(until=1.0)
+    assert order == ["first"]
+    sim.reschedule_at(event, 2.0)  # same record, same callback and args
+    assert sim.pending_events() == 1
+    sim.run(until=3.0)
+    assert order == ["first", "first"]
+
+
+def test_reschedule_at_refuses_past_times():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.run(until=2.0)
+    with pytest.raises(SimTimeError):
+        sim.reschedule_at(event, 1.5)
+
+
+def test_run_drains_cancel_heavy_queue_once_per_event():
+    # Regression shape for the inlined dispatch loop: a standing timer
+    # population cancelled and re-armed every tick must leave counts and
+    # the clock exact.
+    sim = Simulator()
+    timers = [sim.schedule(100.0 + index, lambda: None)
+              for index in range(64)]
+    state = {"ticks": 0}
+
+    def tick():
+        n = state["ticks"]
+        state["ticks"] = n + 1
+        slot = n % len(timers)
+        timers[slot].cancel()
+        timers[slot] = sim.schedule(100.0, lambda: None)
+        if n + 1 < 500:
+            sim.schedule(0.01, tick)
+
+    sim.schedule(0.01, tick)
+    count = sim.run(until=20.0)
+    assert state["ticks"] == 500
+    assert count == 500  # only the ticks ran; every timer was still pending
+    assert sim.pending_events() == len(timers)
+    assert sim.now == 20.0

@@ -171,3 +171,96 @@ def test_cancel_heavy_len_bool_peek_pop_stay_consistent():
     assert drained == expected_order
     assert not queue
     assert queue.peek_time() is None
+
+
+# ---------------------------------------------------------------------------
+# pop_due: the engine's single-pass hot-loop primitive
+# ---------------------------------------------------------------------------
+
+
+def test_pop_due_returns_due_events_in_order():
+    queue = EventQueue()
+    early = queue.push(1.0, lambda: None)
+    late = queue.push(2.0, lambda: None)
+    beyond = queue.push(5.0, lambda: None)
+    assert queue.pop_due(2.0) is early
+    assert queue.pop_due(2.0) is late
+    assert queue.pop_due(2.0) is None  # beyond the horizon
+    assert queue.pop_due(5.0) is beyond
+    assert queue.pop_due(5.0) is None  # empty
+
+
+def test_pop_due_discards_tombstones_in_one_pass():
+    """Cancel-heavy regression: the old peek_time()+pop() pair scanned the
+    same tombstones twice; pop_due must discard each exactly once and keep
+    the liveness accounting exact while doing so."""
+    queue = EventQueue()
+    victims = [queue.push(float(index), lambda: None) for index in range(500)]
+    keeper = queue.push(500.0, lambda: None)
+    for victim in victims:
+        victim.cancel()
+    assert len(queue) == 1
+    assert queue.pop_due(499.0) is None   # horizon miss still cleans up
+    assert queue.cancelled_pending == 0   # every tombstone gone in one pass
+    assert queue.pop_due(500.0) is keeper
+    assert len(queue) == 0
+    assert queue.pop_due(1e9) is None
+
+
+def test_pop_due_detaches_fired_event():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    assert queue.pop_due(1.0) is event
+    event.cancel()  # late cancel of a fired event must not corrupt counts
+    assert len(queue) == 0
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 1
+
+
+# ---------------------------------------------------------------------------
+# rearm: allocation-free re-scheduling of fired records
+# ---------------------------------------------------------------------------
+
+
+def test_rearm_reuses_the_record_and_keeps_order():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    other = queue.push(3.0, lambda: None)
+    fired = queue.pop_due(1.0)
+    assert fired is event
+    assert queue.rearm(event, 2.0) is event
+    assert event.time == 2.0
+    assert event.seq > other.seq  # rearm consumes a fresh sequence number
+    assert queue.pop_due(10.0) is event  # 2.0 still sorts before 3.0
+    assert queue.pop_due(10.0) is other
+
+
+def test_rearm_of_queued_record_is_refused():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    with pytest.raises(SimTimeError):
+        queue.rearm(event, 2.0)
+
+
+def test_rearm_of_cancelled_record_is_refused():
+    # A cancelled record's stale heap entry would come back to life if its
+    # flag were reset — rearm must refuse even after the entry is gone.
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    event.cancel()
+    with pytest.raises(SimTimeError):
+        queue.rearm(event, 2.0)
+    while queue:
+        queue.pop()
+    with pytest.raises(SimTimeError):
+        queue.rearm(event, 2.0)
+
+
+def test_rearm_ties_break_by_sequence():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.pop_due(1.0)
+    fresh = queue.push(5.0, lambda: None)
+    queue.rearm(event, 5.0)  # same instant, later seq: fires after fresh
+    assert queue.pop() is fresh
+    assert queue.pop() is event

@@ -184,3 +184,75 @@ def test_select_returns_copy_not_index_bucket():
     rows = trace.select("a")
     rows.append("garbage")
     assert len(trace.select("a")) == 1
+
+
+# ---------------------------------------------------------------------------
+# enabled() / record_if(): the dead-category fast path
+# ---------------------------------------------------------------------------
+
+
+def test_enabled_tracks_the_storage_filter():
+    trace = Tracer(clock=lambda: 0.0)
+    assert trace.enabled("anything")  # default: everything is kept
+    trace.enable_only("kept")
+    assert trace.enabled("kept")
+    assert not trace.enabled("dropped")
+    trace.enable_all()
+    assert trace.enabled("dropped")
+
+
+def test_enabled_guard_is_digest_neutral():
+    """Skipping a record when enabled() is False must leave the trace —
+    and therefore the digest — exactly as if record() had been called."""
+
+    def run(guarded):
+        trace = Tracer(clock=lambda: 0.0)
+        trace.enable_only("kept")
+        for index in range(50):
+            category = "kept" if index % 5 == 0 else "dropped"
+            if guarded:
+                if trace.enabled(category):
+                    trace.record(category, n=index)
+            else:
+                trace.record(category, n=index)
+        return trace.digest(), len(trace)
+
+    assert run(guarded=True) == run(guarded=False)
+
+
+def test_subscribe_revives_dead_categories():
+    # A listener must see *every* record, so a cached "dead" decision has
+    # to be invalidated the moment one subscribes — and restored when the
+    # last one leaves.
+    trace = Tracer(clock=lambda: 0.0)
+    trace.enable_only("kept")
+    assert not trace.enabled("dropped")
+    seen = []
+    trace.subscribe(seen.append)
+    assert trace.enabled("dropped")
+    trace.record("dropped", n=1)
+    assert [record.category for record in seen] == ["dropped"]
+    assert len(trace) == 0  # delivered to the listener, still not stored
+    trace.unsubscribe(seen.append)
+    assert not trace.enabled("dropped")
+
+
+def test_enable_only_invalidates_cached_decisions():
+    trace = Tracer(clock=lambda: 0.0)
+    assert trace.enabled("a")
+    trace.enable_only("b")
+    assert not trace.enabled("a")
+    trace.enable_only("a")
+    assert trace.enabled("a")
+    trace.record("a", n=1)
+    assert len(trace) == 1
+
+
+def test_record_if_returns_bound_record_or_none():
+    trace = Tracer(clock=lambda: 0.0)
+    trace.enable_only("kept")
+    assert trace.record_if("dropped") is None
+    rec = trace.record_if("kept")
+    assert rec is not None
+    rec("kept", n=7)
+    assert trace.select("kept")[0]["n"] == 7
