@@ -576,6 +576,113 @@ def cluster_failover(quick: bool) -> BenchStats:
     )
 
 
+@register("elastic_scaleup")
+def elastic_scaleup(quick: bool) -> BenchStats:
+    """Flash crowd through the full elastic control plane.
+
+    A latency red line trips the autoscaler mid-burst: a host is
+    recruited, a group is grown, and a migration wave repopulates the
+    grown shard map — all under the cluster and migration invariant
+    monitors.  The digest covers client traffic, the burst, and every
+    control-plane record interleaved; the counters in ``extra`` pin the
+    story (at least one commit, zero violations).
+    """
+    from repro.elastic.harness import run_elastic_scenario
+    from repro.faults.schedule import FaultSchedule
+    from repro.workload.elastic import ElasticScenario
+
+    scenario = (ElasticScenario(n_shards=2, n_hosts=4, n_objects=12,
+                                horizon=10.0, seed=4, latency_red=0.003,
+                                low_watermark=0.0, max_groups=3,
+                                max_hosts=6) if quick else
+                ElasticScenario(n_shards=4, n_hosts=6, n_objects=24,
+                                horizon=20.0, seed=4, latency_red=0.003,
+                                low_watermark=0.0, max_groups=6,
+                                max_hosts=10))
+    schedule = FaultSchedule().flash_crowd(3.0, 2.0, 8.0)
+    result = run_elastic_scenario(scenario, fault_schedule=schedule,
+                                  monitor=True)
+    service = result.service
+    assert result.monitor is not None
+    summary = result.elastic_summary()
+    return BenchStats(
+        events_executed=service.sim.events_executed,
+        peak_live_events=_peak_live(service.sim),
+        trace_records=len(service.trace),
+        digest=service.trace.digest(),
+        extra={"scale_outs": summary["scale_outs"],
+               "hosts_added": summary["hosts_added"],
+               "migrations_committed": summary["migrations_committed"],
+               "autoscale_actions": summary["autoscale_actions"],
+               "violations": sum(result.monitor.violation_counts().values())
+               + summary["migration_violations"]},
+    )
+
+
+@register("migration_steady")
+def migration_steady(quick: bool) -> BenchStats:
+    """Back-to-back live migrations under steady client traffic.
+
+    No autoscaler: a scripted sequence of freeze→transfer→barrier→commit
+    hand-offs shuttles a batch of objects between two groups while every
+    other object keeps serving.  Measures the migration machinery's own
+    cost — snapshot injection, barrier polling, republish — and pins the
+    hand-off count and zero-violation outcome in ``extra``.
+    """
+    from repro.elastic.migration import (
+        COMMITTED,
+        MigrationWindowInvariant,
+        ShardMigration,
+    )
+    from repro.workload.cluster import ClusterScenario, build_cluster
+
+    scenario = (ClusterScenario(n_shards=2, n_hosts=4, n_objects=8,
+                                horizon=8.0, seed=4) if quick else
+                ClusterScenario(n_shards=2, n_hosts=4, n_objects=16,
+                                horizon=20.0, seed=4))
+    cluster = build_cluster(scenario)
+    cluster.start()
+    monitor = MigrationWindowInvariant(cluster)
+    monitor.attach()
+    state = {"committed": 0, "launched": 0}
+    hop = 2.0
+
+    def launch() -> None:
+        source, dest = cluster.groups
+        if state["launched"] % 2:
+            source, dest = dest, source
+        moving = [spec.object_id
+                  for spec in source.registered_specs()][:4]
+        if moving:
+            migration = ShardMigration(cluster, source, dest, moving,
+                                       on_done=done)
+            if migration.start():
+                state["launched"] += 1
+                return
+        reschedule()
+
+    def done(migration: ShardMigration) -> None:
+        if migration.state == COMMITTED:
+            state["committed"] += 1
+        reschedule()
+
+    def reschedule() -> None:
+        if cluster.sim.now + hop < scenario.horizon - 1.0:
+            cluster.sim.schedule(hop, launch)
+
+    cluster.sim.schedule(1.0, launch)
+    cluster.run(scenario.horizon)
+    return BenchStats(
+        events_executed=cluster.sim.events_executed,
+        peak_live_events=_peak_live(cluster.sim),
+        trace_records=len(cluster.trace),
+        digest=cluster.trace.digest(),
+        extra={"migrations_launched": state["launched"],
+               "migrations_committed": state["committed"],
+               "violations": len(monitor.violations)},
+    )
+
+
 @register("replica_read_steady")
 def replica_read_steady(quick: bool) -> BenchStats:
     """Read-heavy single service fronted by window-consistent replicas.

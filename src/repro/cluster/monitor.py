@@ -32,6 +32,9 @@ class ClusterInvariantMonitor:
                  grace: Optional[float] = None,
                  failover_margin: float = 0.1) -> None:
         self.cluster = cluster
+        self._grace = grace
+        self._failover_margin = failover_margin
+        self._attached = False
         #: Merged violations across all groups, in detection order; each
         #: carries ``group=<group name>`` in its details.
         self.violations: List[InvariantViolation] = []
@@ -40,6 +43,21 @@ class ClusterInvariantMonitor:
             self.monitors[group.name] = InvariantMonitor(
                 group, grace=grace, failover_margin=failover_margin,
                 on_violation=self._stamp(group))
+
+    def add_group(self, group: "ReplicationGroup") -> None:
+        """Start monitoring a group created after construction (scale-out).
+
+        Idempotent per group name; the new monitor attaches immediately
+        when the cluster monitor is already attached.
+        """
+        if group.name in self.monitors:
+            return
+        monitor = InvariantMonitor(
+            group, grace=self._grace, failover_margin=self._failover_margin,
+            on_violation=self._stamp(group))
+        self.monitors[group.name] = monitor
+        if self._attached:
+            monitor.attach()
 
     def _stamp(self, group: "ReplicationGroup"
                ) -> Callable[[InvariantViolation], None]:
@@ -51,10 +69,12 @@ class ClusterInvariantMonitor:
     # ------------------------------------------------------------------
 
     def attach(self) -> None:
+        self._attached = True
         for monitor in self.monitors.values():
             monitor.attach()
 
     def detach(self) -> None:
+        self._attached = False
         for monitor in self.monitors.values():
             monitor.detach()
 

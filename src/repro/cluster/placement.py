@@ -39,6 +39,9 @@ class HostSlot:
     processor: Processor
     admission: AdmissionController
     alive: bool = True
+    #: Draining hosts stay alive (resident seats keep serving) but take no
+    #: new placement — the rolling-decommission half-state.
+    draining: bool = False
     #: gid -> object ids charged on this host for that group.
     charges: Dict[int, List[int]] = field(default_factory=dict)
 
@@ -93,12 +96,37 @@ class PlacementEngine:
         self.slots = slots
         self.shard_map = shard_map
         self.config = config
+        #: Per-group ownership tokens: gid -> owner label.  A claimed group
+        #: is being reconfigured by exactly one actor (a live migration);
+        #: the manager sweep must not concurrently re-place it.
+        self._owners: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Ownership (migration / sweep serialisation)
+    # ------------------------------------------------------------------
+
+    def claim(self, gid: int, owner: str) -> bool:
+        """Take the reconfiguration token for ``gid`` (re-entrant for the
+        same owner).  False when another actor already holds it."""
+        current = self._owners.get(gid)
+        if current is not None and current != owner:
+            return False
+        self._owners[gid] = owner
+        return True
+
+    def release_claim(self, gid: int, owner: str) -> None:
+        """Give the token back (idempotent; foreign owners are ignored)."""
+        if self._owners.get(gid) == owner:
+            del self._owners[gid]
+
+    def owner_of(self, gid: int) -> Optional[str]:
+        return self._owners.get(gid)
 
     # ------------------------------------------------------------------
 
     def live_addresses(self) -> List[int]:
         return sorted(address for address, slot in self.slots.items()
-                      if slot.alive)
+                      if slot.alive and not slot.draining)
 
     def try_admit(self, slot: HostSlot, gid: int,
                   specs: Sequence[ObjectSpec]) -> AdmissionDecision:
@@ -129,6 +157,82 @@ class PlacementEngine:
                 continue
             for object_id in slot.charges.pop(gid, []):
                 slot.admission.remove(object_id)
+
+    def charge_objects(self, gid: int, addresses: Sequence[int],
+                       specs: Sequence[ObjectSpec], now: float = 0.0
+                       ) -> Optional[PlacementRejection]:
+        """Charge extra objects for an already-placed group, atomically
+        across every given host (a migration adds objects to the
+        destination pair's existing seats).
+
+        Either every host's budget accepts every spec — the ids are
+        appended to the hosts' ``charges[gid]`` — or nothing changes and
+        the first refusal comes back as a :class:`PlacementRejection`.
+        """
+        charged: List[Tuple[HostSlot, List[int]]] = []
+        for address in addresses:
+            slot = self.slots[address]
+            admitted: List[int] = []
+            for spec in specs:
+                decision = slot.admission.admit(spec)
+                if not decision.accepted:
+                    for object_id in admitted:
+                        slot.admission.remove(object_id)
+                    for done_slot, ids in charged:
+                        for object_id in ids:
+                            done_slot.admission.remove(object_id)
+                    return PlacementRejection(
+                        gid=gid, time=now, role="migration",
+                        reason=decision.reason,
+                        suggestion=decision.suggestion)
+                admitted.append(spec.object_id)
+            charged.append((slot, admitted))
+        for slot, ids in charged:
+            slot.charges.setdefault(gid, []).extend(ids)
+        return None
+
+    def adjust_object(self, gid: int, old_spec: ObjectSpec,
+                      new_spec: ObjectSpec, now: float = 0.0
+                      ) -> Optional[PlacementRejection]:
+        """Swap one charged object's spec on every host charging it
+        (QoS degradation/restoration re-runs the host budgets atomically:
+        on any refusal the old spec is restored everywhere)."""
+        affected = [self.slots[address] for address in sorted(self.slots)
+                    if old_spec.object_id in
+                    self.slots[address].charges.get(gid, [])]
+        swapped: List[HostSlot] = []
+        for slot in affected:
+            slot.admission.remove(old_spec.object_id)
+            decision = slot.admission.admit(new_spec)
+            if not decision.accepted:
+                slot.admission.admit(old_spec)
+                for done in swapped:
+                    done.admission.remove(new_spec.object_id)
+                    done.admission.admit(old_spec)
+                return PlacementRejection(
+                    gid=gid, time=now, role="qos",
+                    reason=decision.reason, suggestion=decision.suggestion)
+            swapped.append(slot)
+        return None
+
+    def release_objects(self, gid: int, object_ids: Sequence[int]) -> None:
+        """Refund specific objects of a group on every host charging them
+        (the source side of a committed migration)."""
+        dropping = set(object_ids)
+        for address in sorted(self.slots):
+            slot = self.slots[address]
+            ids = slot.charges.get(gid)
+            if not ids:
+                continue
+            kept = [object_id for object_id in ids
+                    if object_id not in dropping]
+            for object_id in ids:
+                if object_id in dropping:
+                    slot.admission.remove(object_id)
+            if kept:
+                slot.charges[gid] = kept
+            else:
+                del slot.charges[gid]
 
     # ------------------------------------------------------------------
 

@@ -89,6 +89,9 @@ class ReplicationGroup:
         self.retired: List[ReplicaServer] = []
         self.client: Optional[SensorClient] = None
         self.parked = False
+        #: Scale-in retired this group for good: the sweep skips it and it
+        #: is never re-placed (its objects migrated away first).
+        self.retired_for_good = False
         #: Completed placements (1 = initial, +1 per re-placement).
         self.placements = 0
         self._registered: List[ObjectSpec] = []
@@ -457,7 +460,15 @@ class ClusterService:
         of a succession list) is a documented non-goal.
         """
         for group in self.groups:
+            if group.retired_for_good:
+                continue
             if not group.live_members():
+                if self.placement.owner_of(group.gid) is not None:
+                    # A migration holds this group's reconfiguration token:
+                    # re-placing it here would double-place (the migration
+                    # aborts on its own and releases the token; the next
+                    # sweep then repairs the group).
+                    continue
                 self._retire_dead(group)
                 self.name_service.unpublish(group.name)
                 # A full group loss orphans its read replicas: their
@@ -616,6 +627,84 @@ class ClusterService:
             for replica in group.replicas:
                 if replica.host.address == address and replica.alive:
                     replica.crash()
+
+    # ------------------------------------------------------------------
+    # Elastic reconfiguration (repro.elastic's control-plane surface)
+    # ------------------------------------------------------------------
+
+    def add_group(self) -> ReplicationGroup:
+        """Grow the cluster by one shard: a fresh, initially-empty group.
+
+        The shard map is regrown to ``n+1`` shards (rendezvous hashing
+        guarantees objects only ever move *into* the new shard) and the new
+        group is placed immediately — with no objects yet, placement always
+        succeeds on any live host pair.  The objects the new map assigns to
+        the new shard arrive by live migration, not here.
+        """
+        if not self._started:
+            raise ClusterError("add groups after start() (use n_shards "
+                               "for the static layout)")
+        retired = [group for group in self.groups if group.retired_for_good]
+        if retired:
+            # Scale-in only retires from the top gid down, so reviving the
+            # lowest retired group keeps the active gids contiguous — the
+            # precondition for rendezvous-map regrowth.
+            group = min(retired, key=lambda candidate: candidate.gid)
+            group.retired_for_good = False
+        else:
+            group = ReplicationGroup(self, len(self.groups))
+            self.groups.append(group)
+            self._groups_by_name[group.name] = group
+        active = len([g for g in self.groups if not g.retired_for_good])
+        self.n_shards = active
+        self.shard_map = ShardMap(active, salt=self.service_name)
+        self.placement.shard_map = self.shard_map
+        self._place_group(group, event="scale_out")
+        return group
+
+    def retire_group(self, group: ReplicationGroup) -> None:
+        """Take a (by now object-free) group out of service for good."""
+        group.retired_for_good = True
+        self._retire_replicas(group, only_dead=False)
+        for member in group.members:
+            member.decommission()
+            group.retired.append(member)
+        group.members = []
+        self.placement.release(group.gid)
+        self.name_service.unpublish(group.name)
+        self.n_shards = len([g for g in self.groups
+                             if not g.retired_for_good])
+        self.sim.trace.record("cluster_group_retired", group=group.name)
+
+    def add_host(self) -> HostSlot:
+        """Recruit one fresh machine into the pool (autoscaler action)."""
+        address = max(self.slots) + 1
+        host = Host(self.sim, self.fabric, f"host{address}", address)
+        slot = HostSlot(
+            host=host,
+            processor=build_processor(self.sim, self.config,
+                                      name=f"{host.name}.cpu"),
+            admission=AdmissionController(self.config))
+        self.slots[address] = slot
+        self.n_hosts = len(self.slots)
+        self.sim.trace.record("cluster_host_added", host=host.name,
+                              address=address)
+        return slot
+
+    def mark_draining(self, address: int) -> None:
+        """Exclude a host from future placement (rolling decommission).
+
+        The resident seats are evacuated by the elastic controller one
+        group at a time; marking only stops *new* work landing here.
+        """
+        slot = self.slots.get(address)
+        if slot is None:
+            raise ClusterError(f"no host at address {address}")
+        if slot.draining or not slot.alive:
+            return
+        slot.draining = True
+        self.sim.trace.record("cluster_host_drain", host=slot.host.name,
+                              address=address)
 
     # ------------------------------------------------------------------
     # Directory liveness (the stale-entry guard)

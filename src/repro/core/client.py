@@ -48,6 +48,14 @@ class SensorClient:
         self.active = active
         self.writes_issued = 0
         self.writes_refused = 0
+        #: Write-rate multiplier (flash-crowd injection): 2.0 doubles the
+        #: offered load of every object loop.  Exactly 1.0 leaves the loop
+        #: arithmetic — and every historical trace digest — untouched.
+        self.rate_scale = 1.0
+        #: Per-object loop generation: a loop only writes while it carries
+        #: the current generation, so freeze/abort/re-freeze cycles never
+        #: leave two live loops for one object.
+        self._loop_gen: Dict[int, int] = {}
         self._started = False
 
     # ------------------------------------------------------------------
@@ -58,23 +66,62 @@ class SensorClient:
             return
         self._started = True
         for spec in self.specs:
-            self.sim.spawn(self._object_loop(spec),
-                           name=f"{self.name}.obj{spec.object_id}")
+            self._spawn_loop(spec)
+
+    def _spawn_loop(self, spec: ObjectSpec) -> None:
+        generation = self._loop_gen.get(spec.object_id, 0) + 1
+        self._loop_gen[spec.object_id] = generation
+        self.sim.spawn(self._object_loop(spec, generation),
+                       name=f"{self.name}.obj{spec.object_id}")
 
     def activate(self, _server: ReplicaServer) -> None:
         """Failover up-call: the replica client takes over the sensing task."""
         self.active = True
         self.sim.trace.record("client_activated", client=self.name)
 
+    def add_objects(self, specs: Sequence[ObjectSpec]) -> None:
+        """Begin sensing new objects (live migration hand-off).
+
+        Already-known object ids are skipped, and a spec whose id is in the
+        dropped set is *resurrected* (a migration that aborted re-adds the
+        frozen objects to the source client).
+        """
+        known = {spec.object_id for spec in self.specs}
+        for spec in specs:
+            if spec.object_id in known:
+                continue
+            self.specs.append(spec)
+            known.add(spec.object_id)
+            if self._started:
+                self._spawn_loop(spec)
+
+    def remove_objects(self, object_ids: Sequence[int]) -> None:
+        """Stop sensing the given objects (freeze step of a migration).
+
+        Bumping the generation invalidates the live loop: it terminates at
+        its next wake-up, and no write is *issued* after this call returns
+        because the generation check sits ahead of the write in the loop.
+        """
+        dropping = set(object_ids)
+        for object_id in sorted(dropping):
+            if object_id in self._loop_gen:
+                self._loop_gen[object_id] += 1
+        self.specs = [spec for spec in self.specs
+                      if spec.object_id not in dropping]
+
     # ------------------------------------------------------------------
 
-    def _object_loop(self, spec: ObjectSpec):
+    def _object_loop(self, spec: ObjectSpec, generation: int = 1):
         rng = self.sim.random.stream(f"{self.name}.phase.{spec.object_id}")
         yield Timeout(rng.uniform(0.0, spec.client_period))
         while True:
+            if self._loop_gen.get(spec.object_id) != generation:
+                return
             if self.active:
                 self._write_once(spec)
             delay = spec.client_period
+            if self.rate_scale != 1.0:
+                delay /= self.rate_scale
             if self.write_jitter > 0:
                 delay = max(1e-6, delay + rng.uniform(-self.write_jitter,
                                                       self.write_jitter))

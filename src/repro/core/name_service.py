@@ -47,16 +47,23 @@ class NameService:
         self.sim.trace.record("name_update", name=name, address=address)
 
     def unpublish(self, name: str) -> None:
-        """Remove the entry for ``name`` (idempotent).
+        """Remove the entry for ``name`` — and its role entries (idempotent).
 
         Decommissioning a replication group leaves no forwarding address:
         subsequent lookups raise :class:`NoRouteError` instead of handing
-        clients a dead address.
+        clients a dead address.  The role entries under ``name`` go down
+        with it: they described the dead incarnation's read topology, and
+        leaving them in place would let an immediate ``publish_role`` of
+        the same composite name (a migration republishing the group within
+        one tick) coexist with stale siblings that the liveness probe is
+        no longer consulted about.
         """
         if self._entries.pop(name, None) is None:
             return
         self.changes.append((self.sim.now, name, UNPUBLISHED))
         self.sim.trace.record("name_unpublish", name=name)
+        for role in sorted(self._roles.get(name, {})):
+            self.unpublish_role(name, role)
 
     def set_liveness_probe(self,
                            probe: Optional[Callable[[str, int], bool]]) -> None:

@@ -405,6 +405,46 @@ class ReplicaServer:
                 self.store.get(object_id).update_period = new_period
         return decision
 
+    def drop_object(self, object_id: int) -> None:
+        """Forget one object entirely (live-migration hand-off).
+
+        Stops its transmission task, refunds its admission charge and
+        removes its store record plus all registration bookkeeping.  Safe
+        on any role and idempotent — the cluster's migration machinery
+        calls it on both sides of the source pair at commit time.
+        """
+        self.transmitter.remove_object(object_id)
+        self.admission.remove(object_id)
+        if object_id in self.store:
+            self.store.deregister(object_id)
+        self._register_acked.discard(object_id)
+        self.degraded_objects.discard(object_id)
+        self._last_update_at.pop(object_id, None)
+
+    def adjust_window(self, new_spec: ObjectSpec) -> AdmissionDecision:
+        """Re-admit one registered object under a different δ^B.
+
+        The QoS-degradation path (overload shedding) widens a window; the
+        cool-down path narrows it back.  On acceptance the store record's
+        spec and transmission period are swapped and the transmission task
+        re-armed at the new period; on rejection the original admission is
+        restored and nothing changes.
+        """
+        record = self.store.get(new_spec.object_id)
+        old_spec = record.spec
+        self.admission.remove(new_spec.object_id)
+        decision = self.admission.admit(new_spec)
+        if not decision.accepted:
+            self.admission.admit(old_spec)
+            return decision
+        record.spec = new_spec
+        record.update_period = decision.update_period
+        if self.transmitter.knows(new_spec.object_id):
+            self.transmitter.remove_object(new_spec.object_id)
+            self.transmitter.add_object(new_spec.object_id,
+                                        decision.update_period)
+        return decision
+
     def _replicate_registration(self, spec: ObjectSpec,
                                 update_period: float, attempt: int = 0) -> None:
         """Send REGISTER to the backup, retrying until acked (UDP is lossy).

@@ -1,0 +1,166 @@
+"""Metrics-driven autoscaling: a hysteresis controller over the collectors.
+
+The :class:`Autoscaler` periodically samples three signals:
+
+- **planned utilization** — each live, non-draining host's admission-
+  controller utilization (:meth:`PlacementEngine.utilization`): the RM
+  admission test's view of how full the cluster's budgets are.  This is a
+  *provisioning* signal — it moves when objects register, degrade, or
+  migrate, not when clients write faster.
+- **response-time percentiles** — the p99 of ``client_response`` records
+  since the previous sample, taken straight off the trace stream.  This
+  is the *load* signal: a flash crowd that planned utilization cannot see
+  shows up here first.
+- **window-violation count** — ``invariant_violation`` records since the
+  previous sample; any violation is unconditional pressure.
+
+Samples cross the high watermark (or the latency red line, or a non-zero
+violation count) into a *pressure streak*; crossing the low watermark
+with none of the above feeds an *idle streak*.  Only a full streak
+(``high_samples`` / ``low_samples`` consecutive ticks) outside the
+cooldown triggers an action — the hysteresis that keeps a borderline
+cluster from flapping.  Actions are traced (``autoscale``) and delegated
+to callbacks; the :class:`~repro.elastic.controller.ElasticController`
+implements them as host recruitment plus group growth (with live
+migrations populating the new shard) or group retirement.
+
+Trace categories: ``autoscale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List
+
+from repro.sim.trace import TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.service import ClusterService
+
+#: Response samples retained per tick window (overload backstop; one tick
+#: at a plausible write rate stays far below this).
+_MAX_SAMPLES = 65536
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """The hysteresis knobs (see :class:`ElasticScenario` for semantics)."""
+
+    period: float = 0.5
+    high_watermark: float = 0.70
+    low_watermark: float = 0.15
+    high_samples: int = 3
+    low_samples: int = 8
+    cooldown: float = 2.0
+    latency_red: float = 0.0
+
+
+def _p99(samples: List[float]) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+class Autoscaler:
+    """Hysteresis loop: collector stream in, scale-out/in callbacks out."""
+
+    def __init__(self, cluster: "ClusterService", policy: AutoscalePolicy,
+                 scale_out: Callable[[str], None],
+                 scale_in: Callable[[str], None]) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.policy = policy
+        self.scale_out = scale_out
+        self.scale_in = scale_in
+        #: JSON-safe log of every action taken, in firing order.
+        self.actions: List[Dict[str, Any]] = []
+        self._responses: List[float] = []
+        self._violations = 0
+        self._pressure_streak = 0
+        self._idle_streak = 0
+        self._last_action_at: float = float("-inf")
+        self._running = False
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.trace.subscribe(self._on_record)
+        self.sim.schedule(self.policy.period, self._tick)
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self.sim.trace.unsubscribe(self._on_record)
+
+    # ------------------------------------------------------------------
+
+    def _on_record(self, record: TraceRecord) -> None:
+        if record.category == "client_response":
+            if len(self._responses) < _MAX_SAMPLES:
+                self._responses.append(record["response"])
+        elif record.category == "invariant_violation":
+            self._violations += 1
+
+    def peak_utilization(self) -> float:
+        """Highest planned utilization over live, non-draining hosts."""
+        peak = 0.0
+        for _address, slot in sorted(self.cluster.slots.items()):
+            if not slot.alive or slot.draining:
+                continue
+            peak = max(peak, slot.admission.planned_utilization())
+        return peak
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        policy = self.policy
+        peak = self.peak_utilization()
+        p99 = _p99(self._responses)
+        violations = self._violations
+        self._responses.clear()
+        self._violations = 0
+
+        reasons: List[str] = []
+        if peak > policy.high_watermark:
+            reasons.append("utilization")
+        if policy.latency_red > 0 and p99 > policy.latency_red:
+            reasons.append("latency")
+        if violations > 0:
+            reasons.append("violations")
+        if reasons:
+            self._pressure_streak += 1
+            self._idle_streak = 0
+        elif peak < policy.low_watermark:
+            self._idle_streak += 1
+            self._pressure_streak = 0
+        else:
+            self._pressure_streak = 0
+            self._idle_streak = 0
+
+        cooled = self.sim.now - self._last_action_at >= policy.cooldown
+        if self._pressure_streak >= policy.high_samples and cooled:
+            self._act("scale_out", ",".join(reasons), peak, p99)
+        elif self._idle_streak >= policy.low_samples and cooled:
+            self._act("scale_in", "idle", peak, p99)
+        self.sim.schedule(policy.period, self._tick)
+
+    def _act(self, action: str, reason: str, peak: float,
+             p99: float) -> None:
+        self._last_action_at = self.sim.now
+        self._pressure_streak = 0
+        self._idle_streak = 0
+        event: Dict[str, Any] = {
+            "time": self.sim.now, "action": action, "reason": reason,
+            "peak_utilization": peak, "p99_response": p99}
+        self.actions.append(event)
+        self.sim.trace.record("autoscale", action=action, reason=reason,
+                              peak_utilization=peak, p99_response=p99)
+        if action == "scale_out":
+            self.scale_out(reason)
+        else:
+            self.scale_in(reason)

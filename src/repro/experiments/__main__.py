@@ -37,6 +37,7 @@ FIGURES = {
     "fig12": figures.figure12_inconsistency_compressed,
     "fig13": figures.figure13_read_throughput_vs_replicas,
     "fig14": figures.figure14_read_staleness_vs_window,
+    "fig15": figures.figure15_flash_crowd_scaleout,
 }
 
 _QUICK_OVERRIDES = {
@@ -55,6 +56,7 @@ _QUICK_OVERRIDES = {
     "fig13": dict(replica_counts=(0, 2), read_periods=(ms(1.0), ms(2.0)),
                   horizon=6.0),
     "fig14": dict(windows=(ms(100), ms(400)), horizon=6.0),
+    "fig15": dict(burst_factors=(1.0, 8.0), horizon=10.0),
 }
 
 
@@ -62,7 +64,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's evaluation figures (6-12) and "
-                    "the read-replica extension figures (13-14).")
+                    "the extension figures (13-14 read replicas, 15 "
+                    "elastic scale-out).")
     parser.add_argument("figure",
                         choices=sorted(FIGURES) + ["all", "list"],
                         help="which figure to regenerate")

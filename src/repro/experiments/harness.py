@@ -187,6 +187,14 @@ def run_scenario(scenario: "Scenario | ClusterScenario", warmup: float = 2.0,
     """
     # Local imports: repro.faults sits above the harness in the layering.
     if not isinstance(scenario, Scenario):
+        from repro.workload.elastic import ElasticScenario
+
+        if isinstance(scenario, ElasticScenario):
+            from repro.elastic.harness import run_elastic_scenario
+
+            return run_elastic_scenario(
+                scenario, warmup=warmup, full_trace=full_trace,
+                fault_schedule=fault_schedule, monitor=monitor)
         from repro.cluster.harness import run_cluster_scenario
 
         return run_cluster_scenario(

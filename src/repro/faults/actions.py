@@ -292,6 +292,75 @@ class CorruptMessages(FaultAction):
 
 
 @dataclass
+class FlashCrowd(FaultAction):
+    """Multiply every sensing client's write rate by ``factor``.
+
+    Models a sudden burst of sensor activity: for ``duration`` seconds
+    each client issues writes ``factor`` times as often (inter-write gaps
+    divide by the factor), then the rate snaps back.  Planned utilization
+    — an *admission-time* quantity — cannot see this; only the response-
+    time stream and the invariant monitors can, which is exactly the
+    blind spot the elastic autoscaler's latency trigger covers.
+    """
+
+    duration: float
+    factor: float
+
+    kind = "flash_crowd"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        if self.duration <= 0 or self.factor <= 0:
+            raise ProtocolError(
+                f"flash crowd needs positive duration and factor, got "
+                f"duration={self.duration}, factor={self.factor}")
+        clients = [client for client in
+                   getattr(injector.service, "clients", [])
+                   if client is not None]
+
+        def restore() -> None:
+            for client in clients:
+                client.rate_scale = 1.0
+
+        for client in clients:
+            client.rate_scale = self.factor
+        injector.schedule_restore(self.duration, restore)
+
+    def describe(self) -> Dict[str, object]:
+        return {"duration": self.duration, "factor": self.factor}
+
+
+@dataclass
+class DrainHost(FaultAction):
+    """Mark a host draining: alive, serving, but evacuating.
+
+    The rolling-decommission primitive — placement stops offering the
+    host and the elastic controller walks its resident seats off, one per
+    tick, with clean failovers.  Only meaningful on deployments exposing
+    ``mark_draining`` (the sharded cluster); a no-op elsewhere.
+    """
+
+    target: Target
+
+    kind = "drain_host"
+
+    def apply(self, injector: "FaultInjector") -> None:
+        drain = getattr(injector.service, "mark_draining", None)
+        if drain is None:
+            return
+        if isinstance(self.target, int):
+            # A fabric address names the host itself — hosts with no
+            # resident server (spare capacity) are drainable too.
+            drain(self.target)
+            return
+        server = injector.resolve_server(self.target)
+        if server is not None:
+            drain(server.host.address)
+
+    def describe(self) -> Dict[str, object]:
+        return {"target": self.target}
+
+
+@dataclass
 class ClockDrift(FaultAction):
     """Skew the targeted replica's local timers by ``scale``.
 

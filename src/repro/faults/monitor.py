@@ -194,6 +194,44 @@ class InvariantMonitor:
                      for spec in self.service.registered_specs()})
                 self._reset_window_state()
                 self._schedule_split_check()
+        elif category == "migration_freeze":
+            # Our objects are leaving: stop charging their writes to this
+            # group's window accounting (the snapshot injection at the
+            # destination is that group's monitor's business, and
+            # ``primary_write`` records carry no server identity to demux
+            # by — membership of ``_windows`` is the demux).
+            if record.get("source") == getattr(self.service, "service_name",
+                                               None):
+                for object_id in self._migrating_ids(record):
+                    self._windows.pop(object_id, None)
+                    self._pending.pop(object_id, None)
+                    self._violating.discard(object_id)
+        elif category in ("migration_commit", "migration_abort"):
+            # Ownership settled (either way): rebuild the window table from
+            # what this group *actually* registers now — commit moved
+            # objects in/out, abort returned them to the source.
+            name = getattr(self.service, "service_name", None)
+            if name in (record.get("source"), record.get("dest")):
+                self._windows = {
+                    spec.object_id: spec.window
+                    for spec in self.service.registered_specs()}
+                self._reset_window_state()
+        elif category in ("window_degraded", "window_restored"):
+            # Overload shedding renegotiated an object's δ: enforce the
+            # *new* contract from this instant (past pending writes were
+            # admitted under the old one; re-baseline).
+            if record.get("group") == getattr(self.service, "service_name",
+                                              None):
+                object_id = record["object"]
+                if object_id in self._windows:
+                    self._windows[object_id] = record["window"]
+                    self._pending.pop(object_id, None)
+                    self._violating.discard(object_id)
+
+    @staticmethod
+    def _migrating_ids(record: TraceRecord) -> List[int]:
+        text = record.get("ids", "")
+        return [int(part) for part in text.split(",")] if text else []
 
     # -- temporal window ---------------------------------------------------
 
@@ -238,8 +276,13 @@ class InvariantMonitor:
     def _check_window(self, object_id: int) -> None:
         self._timer_armed.discard(object_id)
         now = self.sim.now
+        window = self._windows.get(object_id)
+        if window is None:
+            # The object left this deployment (migration froze it) between
+            # arming the timer and its expiry; nothing to check here.
+            self._pending.pop(object_id, None)
+            return
         pending = self._pending.get(object_id, [])
-        window = self._windows[object_id]
         while pending and pending[0] + window + self.grace <= now + _EPSILON:
             overdue = pending.pop(0)
             if self.service.current_backup() is None:

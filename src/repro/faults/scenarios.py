@@ -292,6 +292,99 @@ def cluster_replica_outage(seed: int = 0) -> ChaosScenario:
     )
 
 
+def flash_crowd(seed: int = 0) -> ChaosScenario:
+    """Elastic cluster absorbs a write burst by scaling out, live.
+
+    A 2-shard/4-host elastic cluster runs calm until t=3, when every
+    sensor's write rate multiplies by 8 for two seconds.  Planned
+    utilization — an admission-time quantity — never moves, so only the
+    autoscaler's p99 latency trigger can see the crowd: it must recruit
+    hosts, grow a third group, and populate it by live migration while
+    the burst is still in flight.  The pass condition is the tentpole's
+    acceptance criterion: at least one ``autoscale`` action and one
+    ``migration_commit`` mid-traffic, with the temporal-window,
+    split-brain and migration invariants all silent.
+    """
+    from repro.workload.elastic import ElasticScenario
+
+    workload = ElasticScenario(n_shards=2, n_hosts=4, n_objects=12,
+                               horizon=20.0, seed=seed,
+                               latency_red=0.003, low_watermark=0.0,
+                               max_groups=3, max_hosts=6)
+    schedule = FaultSchedule().flash_crowd(3.0, 2.0, 8.0)
+    return ChaosScenario(
+        name="flash_crowd",
+        description="elastic cluster: 8x write burst, latency-triggered "
+                    "scale-out with live migration mid-burst",
+        workload=workload,
+        schedule=schedule,
+        expected_violations=(),
+    )
+
+
+def rolling_decommission(seed: int = 0) -> ChaosScenario:
+    """Two hosts drained back-to-back; every seat walks off cleanly.
+
+    A 2-shard/5-host elastic cluster has the host of one group's primary
+    marked draining at t=3 and the host of the other group's primary at
+    t=9.  Draining hosts take no new placement; the elastic controller
+    evacuates one seat per tick — backups and spares crash outright (the
+    sweep recruits replacements elsewhere), a primary only once its group
+    has a live backup to fail over to.  Both hosts must end the run
+    empty with zero invariant violations: every hand-off is a clean,
+    in-order failover, never a split brain.
+    """
+    from repro.workload.elastic import ElasticScenario
+
+    workload = ElasticScenario(n_shards=2, n_hosts=5, n_objects=8,
+                               horizon=20.0, seed=seed,
+                               low_watermark=0.0, max_groups=0, max_hosts=0)
+    schedule = (FaultSchedule()
+                .drain_host(3.0, "g00/primary")
+                .drain_host(9.0, "g01/primary"))
+    return ChaosScenario(
+        name="rolling_decommission",
+        description="elastic cluster: two hosts drained in sequence, "
+                    "seats evacuated one clean failover at a time",
+        workload=workload,
+        schedule=schedule,
+        expected_violations=(),
+    )
+
+
+def scaleup_race_with_failover(seed: int = 0) -> ChaosScenario:
+    """A host dies while a scale-out migration is mid-flight.
+
+    A single-shard elastic cluster under standing utilization pressure
+    (the high watermark sits below its packed load) scales out at
+    t≈1.5: a new group is placed and a migration wave starts moving
+    objects into it.  At t=1.62 — freeze done, transfer racing the
+    barrier — the new group's primary is crashed.  The migration must
+    abort cleanly (destination charges refunded, source client
+    unfrozen, not a double-place: the wave still holds both groups'
+    reconfiguration tokens, so the manager sweep may not re-place the
+    destination mid-abort).  After the group fails over, the still-
+    standing pressure must re-trigger the wave and the second attempt
+    must commit — the run ends scaled out with zero invariant
+    violations.
+    """
+    from repro.workload.elastic import ElasticScenario
+
+    workload = ElasticScenario(n_shards=1, n_hosts=4, n_objects=16,
+                               horizon=20.0, seed=seed,
+                               high_watermark=0.05, low_watermark=0.0,
+                               max_groups=2, max_hosts=6)
+    schedule = FaultSchedule().crash(1.62, "g01/primary")
+    return ChaosScenario(
+        name="scaleup_race_with_failover",
+        description="elastic cluster: dest primary crash mid-migration, "
+                    "clean abort, retry commits after failover",
+        workload=workload,
+        schedule=schedule,
+        expected_violations=(),
+    )
+
+
 #: The catalogue: name -> factory(seed).
 SCENARIOS: Dict[str, Callable[[int], ChaosScenario]] = {
     factory.__name__: factory
@@ -305,6 +398,9 @@ SCENARIOS: Dict[str, Callable[[int], ChaosScenario]] = {
         fastpath_primary_failover,
         cluster_group_outage,
         cluster_replica_outage,
+        flash_crowd,
+        rolling_decommission,
+        scaleup_race_with_failover,
     )
 }
 

@@ -27,8 +27,10 @@ from repro.faults.actions import (
     CorruptMessages,
     CrashServer,
     DelaySpike,
+    DrainHost,
     DuplicateMessages,
     FaultAction,
+    FlashCrowd,
     Heal,
     HealAll,
     IsolateHost,
@@ -130,6 +132,15 @@ class FaultSchedule:
     def clock_drift(self, time: float, target: Target, scale: float,
                     duration: Optional[float] = None) -> "FaultSchedule":
         return self.at(time, ClockDrift(target, scale, duration))
+
+    def flash_crowd(self, time: float, duration: float,
+                    factor: float) -> "FaultSchedule":
+        """Multiply every client's write rate by ``factor`` for ``duration``."""
+        return self.at(time, FlashCrowd(duration, factor))
+
+    def drain_host(self, time: float, target: Target) -> "FaultSchedule":
+        """Mark ``target``'s host draining (rolling decommission)."""
+        return self.at(time, DrainHost(target))
 
     @classmethod
     def flapping(cls, seed: int, target: Target, start: float, end: float,

@@ -83,6 +83,9 @@ class RunOutcome:
     #: Worker-side wall time of the run, seconds.
     wall_s: float = 0.0
     key: Optional[Tuple[Any, ...]] = None
+    #: Harness-specific JSON-safe accounting (e.g. the elastic control
+    #: plane's migration/autoscale counters); empty elsewhere.
+    extra: Dict[str, Any] = field(default_factory=dict)
 
     # Flat conveniences mirroring RunResult's metric surface.
     @property
@@ -141,6 +144,8 @@ def outcome_from_result(result: RunResult, wall_s: float = 0.0,
         else {},
         wall_s=wall_s,
         key=key,
+        extra=(result.elastic_summary()
+               if hasattr(result, "elastic_summary") else {}),
     )
 
 

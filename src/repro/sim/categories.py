@@ -82,6 +82,19 @@ CLUSTER_PLACE = "cluster_place"
 CLUSTER_REJECT = "cluster_reject"
 CLUSTER_HOST_DOWN = "cluster_host_down"
 
+# -- elastic control plane (repro.elastic) ---------------------------------
+MIGRATION_FREEZE = "migration_freeze"
+MIGRATION_TRANSFER = "migration_transfer"
+MIGRATION_BARRIER = "migration_barrier"
+MIGRATION_COMMIT = "migration_commit"
+MIGRATION_ABORT = "migration_abort"
+AUTOSCALE = "autoscale"
+WINDOW_DEGRADED = "window_degraded"
+WINDOW_RESTORED = "window_restored"
+CLUSTER_HOST_ADDED = "cluster_host_added"
+CLUSTER_HOST_DRAIN = "cluster_host_drain"
+CLUSTER_GROUP_RETIRED = "cluster_group_retired"
+
 # -- read replicas (repro.replicas) ----------------------------------------
 REPLICA_SUBSCRIBE = "replica_subscribe"
 REPLICA_SYNC = "replica_sync"

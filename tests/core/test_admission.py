@@ -88,6 +88,50 @@ def test_rejection_suggestion_is_admittable():
     assert controller.admit(retry).accepted
 
 
+def test_client_period_suggestion_round_trips_to_acceptance():
+    # The negotiation loop the cluster's shedder rides: apply the rejection
+    # verbatim and the retry must be admitted.
+    controller = make_controller()
+    decision = controller.admit(make_spec(client_period=ms(150),
+                                          delta_primary=ms(100)))
+    assert not decision.accepted
+    retry = make_spec(client_period=decision.suggestion["client_period"],
+                      delta_primary=ms(100))
+    assert controller.admit(retry).accepted
+
+
+def test_window_too_small_suggestion_is_exact_and_admittable():
+    controller = make_controller(ell=ms(5))
+    decision = controller.admit(make_spec(window=ms(4)))
+    assert not decision.accepted
+    assert decision.reason == REASON_WINDOW_TOO_SMALL
+    # δ^B = δ^P + 2ℓ: the smallest window strictly clearing the bound.
+    assert decision.suggestion["delta_backup"] == \
+        pytest.approx(ms(100) + 2 * ms(5))
+    retry = ObjectSpec(object_id=1, name="retry", size_bytes=64,
+                       client_period=ms(100), delta_primary=ms(100),
+                       delta_backup=decision.suggestion["delta_backup"])
+    assert controller.admit(retry).accepted
+
+
+def test_saturated_controller_offers_no_window_suggestion():
+    # Under the exact RM test, harmonic update tasks push planned
+    # utilization past the Liu-Layland bound — at that point no window
+    # widening helps and the rejection carries no suggestion (the
+    # "negotiation is hopeless" signal the shedder must tolerate).
+    controller = make_controller(admission_test="exact")
+    object_id = 0
+    while True:
+        decision = controller.admit(make_spec(object_id, window=ms(100)))
+        if not decision.accepted:
+            break
+        object_id += 1
+    assert decision.reason == REASON_UNSCHEDULABLE
+    assert decision.suggestion is None
+    n = controller.admitted_count
+    assert controller.planned_utilization() > utilization_bound_rm(n + 1)
+
+
 def test_larger_windows_admit_more_objects():
     def capacity(window):
         controller = make_controller()

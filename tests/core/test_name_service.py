@@ -53,6 +53,32 @@ def test_unpublish_removes_the_entry_and_is_idempotent():
     assert service.changes == [(0.0, "rtpb", 1), (0.0, "rtpb", UNPUBLISHED)]
 
 
+def test_unpublish_purges_role_entries_with_the_primary():
+    # Regression: decommissioning a group must take its read topology down
+    # too — an immediate republish of the same composite name (a migration
+    # republishing the group within one tick) must not coexist with stale
+    # siblings from the dead incarnation.
+    from repro.core.name_service import ROLE_SEPARATOR, UNPUBLISHED
+
+    sim = Simulator()
+    service = NameService(sim)
+    service.publish("rtpb", 1)
+    service.publish_role("rtpb", "replica0", 5)
+    service.publish_role("rtpb", "replica1", 6)
+    service.unpublish("rtpb")
+    assert service.lookup_roles("rtpb") == []
+    assert service.peek_role("rtpb", "replica0") is None
+    # Both composite removals are recorded, in role order.
+    removed = [name for _time, name, address in service.changes
+               if address == UNPUBLISHED]
+    assert removed == ["rtpb", f"rtpb{ROLE_SEPARATOR}replica0",
+                       f"rtpb{ROLE_SEPARATOR}replica1"]
+    # Same-tick republish of one composite name: only the new entry lives.
+    service.publish("rtpb", 2)
+    service.publish_role("rtpb", "replica0", 9)
+    assert service.lookup_roles("rtpb") == [("replica0", 9)]
+
+
 def test_role_entries_are_separate_from_the_primary_entry():
     service = NameService(Simulator())
     service.publish("rtpb", 1)

@@ -1,0 +1,163 @@
+"""Live shard migration: freeze → transfer → barrier → republish."""
+
+import pytest
+
+from repro.elastic.migration import (
+    ABORTED,
+    COMMITTED,
+    IDLE,
+    MIGRATION_LEAKED_WRITE,
+    MIGRATION_MISSING_BARRIER,
+    MigrationWindowInvariant,
+    ShardMigration,
+)
+from repro.errors import ClusterError
+from repro.workload.cluster import ClusterScenario, build_cluster
+
+
+def make_cluster(settle=1.0, **overrides):
+    scenario = ClusterScenario(n_shards=2, n_hosts=4, n_objects=8,
+                               horizon=10.0, seed=0, **overrides)
+    cluster = build_cluster(scenario)
+    cluster.run(settle)
+    return cluster
+
+
+def test_commit_moves_objects_and_preserves_windows():
+    cluster = make_cluster()
+    monitor = MigrationWindowInvariant(cluster)
+    monitor.attach()
+    source, dest = cluster.groups
+    moving = [spec.object_id for spec in source.registered_specs()][:2]
+    windows = {spec.object_id: spec.window
+               for spec in source.registered_specs()
+               if spec.object_id in moving}
+    migration = ShardMigration(cluster, source, dest, moving)
+    assert migration.start()
+    cluster.run(3.0)
+
+    assert migration.state == COMMITTED
+    source_ids = {spec.object_id for spec in source.registered_specs()}
+    dest_specs = {spec.object_id: spec for spec in dest.registered_specs()}
+    assert not source_ids & set(moving)
+    assert set(moving) <= set(dest_specs)
+    # The temporal window survives the hand-off exactly.
+    for object_id in moving:
+        assert dest_specs[object_id].window == pytest.approx(
+            windows[object_id])
+    # The full state machine is on the trace, in order.
+    trace = cluster.trace
+    for category in ("migration_freeze", "migration_transfer",
+                     "migration_barrier", "migration_commit"):
+        assert trace.select(category), category
+    commit_time = trace.select("migration_commit")[0].time
+    assert monitor.violations == []
+    # The destination client picked up sensing: fresh writes for a moved
+    # object arrive after the commit (it is only registered at the dest).
+    cluster.run(5.0)
+    writes = trace.select("primary_write", object=moving[0])
+    assert any(record.time > commit_time for record in writes)
+
+
+def test_migration_holds_both_tokens_until_done():
+    cluster = make_cluster()
+    source, dest = cluster.groups
+    moving = [spec.object_id for spec in source.registered_specs()][:1]
+    migration = ShardMigration(cluster, source, dest, moving)
+    assert migration.start()
+    placement = cluster.placement
+    assert placement.owner_of(source.gid) == migration.owner
+    assert placement.owner_of(dest.gid) == migration.owner
+    cluster.run(3.0)
+    assert migration.state == COMMITTED
+    assert placement.owner_of(source.gid) is None
+    assert placement.owner_of(dest.gid) is None
+
+
+def test_refused_token_blocks_start():
+    cluster = make_cluster()
+    source, dest = cluster.groups
+    moving = [spec.object_id for spec in source.registered_specs()][:1]
+    cluster.placement.claim(dest.gid, "someone-else")
+    migration = ShardMigration(cluster, source, dest, moving)
+    assert not migration.start()
+    assert migration.state == IDLE
+    # The failed start released the token it *did* manage to take.
+    assert cluster.placement.owner_of(source.gid) is None
+    # The source client never stopped sensing (nothing was frozen).
+    assert not cluster.trace.select("migration_freeze")
+
+
+def test_abort_on_destination_pair_loss_resumes_the_source():
+    cluster = make_cluster()
+    source, dest = cluster.groups
+    moving = [spec.object_id for spec in source.registered_specs()][:2]
+    migration = ShardMigration(cluster, source, dest, moving)
+    assert migration.start()
+    # Take the whole destination pair down before the tail delay elapses:
+    # the transfer step finds no destination primary and must abort.  The
+    # sweep cannot re-place the group meanwhile — the migration holds its
+    # token.  (Crash the member processes, not their hosts — the hosts may
+    # co-host the source's seats.)
+    for member in list(dest.live_members()):
+        member.crash()
+    abort_time = cluster.sim.now
+    cluster.run(3.0)
+
+    assert migration.state == ABORTED
+    assert migration.abort_reason == "dest_primary_lost"
+    assert cluster.trace.select("migration_abort")
+    # The source still owns every object and resumed sensing them.
+    source_ids = {spec.object_id for spec in source.registered_specs()}
+    assert set(moving) <= source_ids
+    writes = cluster.trace.select("primary_write", object=moving[0])
+    assert any(record.time > abort_time for record in writes)
+    # Tokens released despite the failure path.
+    assert cluster.placement.owner_of(source.gid) is None
+    assert cluster.placement.owner_of(dest.gid) is None
+
+
+def test_migrating_onto_itself_is_rejected():
+    cluster = make_cluster()
+    source = cluster.groups[0]
+    with pytest.raises(ClusterError):
+        ShardMigration(cluster, source, source, [0])
+
+
+def test_invariant_flags_leaked_writes_and_missing_barriers():
+    cluster = make_cluster()
+    monitor = MigrationWindowInvariant(cluster)
+    monitor.attach()
+    source, dest = cluster.groups
+    frozen = source.registered_specs()[0].object_id
+    trace = cluster.trace
+    trace.record("migration_freeze", source=source.name, dest=dest.name,
+                 objects=1, ids=str(frozen))
+    # A write with a source timestamp *after* the freeze is a leak: the
+    # frozen object's sensing loop should have been invalidated.
+    trace.record("primary_write", object=frozen,
+                 source_time=cluster.sim.now + 1.0)
+    # Committing without ever recording the barrier is the second sin.
+    trace.record("migration_commit", source=source.name, dest=dest.name,
+                 objects=1, ids=str(frozen))
+    kinds = [violation.kind for violation in monitor.violations]
+    assert MIGRATION_LEAKED_WRITE in kinds
+    assert MIGRATION_MISSING_BARRIER in kinds
+
+
+def test_sweep_leaves_claimed_dead_groups_alone():
+    # The reconfiguration token serializes the manager sweep against a
+    # migration: a fully-dead group whose token is held must NOT be
+    # re-placed by the sweep (double-placement race); once the token is
+    # released the next sweep repairs it.
+    cluster = make_cluster()
+    group = cluster.groups[1]
+    assert cluster.placement.claim(group.gid, "migration:test")
+    for member in list(group.live_members()):
+        cluster.kill_host(member.host.address)
+    cluster.run(cluster.sim.now + 1.5)  # several sweep periods
+    assert not group.live_members()
+
+    cluster.placement.release_claim(group.gid, "migration:test")
+    cluster.run(cluster.sim.now + 1.5)
+    assert group.live_members()

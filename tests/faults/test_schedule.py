@@ -88,6 +88,41 @@ def test_flapping_validation():
                                mean_uptime=1.0, mean_outage=1.0)
 
 
+def test_flash_crowd_and_drain_host_ride_the_builder():
+    schedule = (FaultSchedule()
+                .flash_crowd(3.0, 2.0, 8.0)
+                .drain_host(5.0, "g00/primary"))
+    timeline = schedule.describe()
+    assert timeline[0] == {"time": 3.0, "kind": "flash_crowd",
+                           "duration": 2.0, "factor": 8.0}
+    assert timeline[1] == {"time": 5.0, "kind": "drain_host",
+                           "target": "g00/primary"}
+
+
+def test_flash_crowd_validates_its_parameters():
+    from repro.faults.actions import FlashCrowd
+
+    class _Injector:
+        service = None
+
+    with pytest.raises(ProtocolError):
+        FlashCrowd(duration=0.0, factor=8.0).apply(_Injector())
+    with pytest.raises(ProtocolError):
+        FlashCrowd(duration=2.0, factor=-1.0).apply(_Injector())
+
+
+def test_drain_host_is_a_noop_without_the_cluster_facade():
+    # Single-group services expose no ``mark_draining``: the schedule stays
+    # portable and the action quietly does nothing.
+    from repro.faults.actions import DrainHost
+
+    class _Injector:
+        class service:
+            pass
+
+    DrainHost(target=3).apply(_Injector())
+
+
 def test_describe_is_json_safe_timeline():
     schedule = (FaultSchedule()
                 .loss_burst(1.0, 2.0, BernoulliLoss(0.5))
